@@ -1,0 +1,162 @@
+"""Shared workload builders for the benchmark harnesses.
+
+Scaling note (see DESIGN.md §2): benchmarks run the *paper topologies*
+(VGG19 = 16 conv + FC; ResNet18 = stem + 16 block convs + FC) at reduced
+channel width and input resolution so that CPU-only numpy training
+completes in minutes.  Layer counts, the AD-quantization algorithm, the
+energy models and every reported column are identical to the full-scale
+configuration; the hardware-energy benches (Tables IV-VI) run at the
+paper's full width since they need no training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ExperimentRunner, QuantizationSchedule
+from repro.data import (
+    DataLoader,
+    SyntheticCIFAR10,
+    SyntheticCIFAR100,
+    SyntheticTinyImageNet,
+)
+from repro.density import SaturationDetector
+from repro.models import resnet18, vgg19
+from repro.nn import Adam, CrossEntropyLoss
+
+# Benchmark-scale knobs (one place to widen if more compute is available).
+VGG_WIDTH = 0.125
+RESNET_WIDTH = 0.125
+IMAGE_SIZE = 16
+NOISE = 0.8
+
+
+def cifar10_loaders(seed: int = 0, train_per_class: int = 24, test_per_class: int = 8):
+    rng = np.random.default_rng(seed)
+    train, test = SyntheticCIFAR10(
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        image_size=IMAGE_SIZE,
+        noise=NOISE,
+        seed=seed,
+    )
+    return (
+        DataLoader(train, batch_size=25, shuffle=True, rng=rng),
+        DataLoader(test, batch_size=50),
+    )
+
+
+def cifar100_loaders(seed: int = 1, train_per_class: int = 8, test_per_class: int = 3):
+    rng = np.random.default_rng(seed)
+    train, test = SyntheticCIFAR100(
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        image_size=IMAGE_SIZE,
+        noise=0.6,  # 100-way at micro scale needs a cleaner signal
+        seed=seed,
+    )
+    return (
+        DataLoader(train, batch_size=40, shuffle=True, rng=rng),
+        DataLoader(test, batch_size=50),
+    )
+
+
+def tinyimagenet_loaders(seed: int = 2, train_per_class: int = 2, test_per_class: int = 1):
+    rng = np.random.default_rng(seed)
+    train, test = SyntheticTinyImageNet(
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        image_size=IMAGE_SIZE,  # 64 in the paper; reduced for CPU scale
+        noise=NOISE,
+        seed=seed,
+    )
+    return (
+        DataLoader(train, batch_size=40, shuffle=True, rng=rng),
+        DataLoader(test, batch_size=50),
+    )
+
+
+def make_vgg19(num_classes: int = 10, seed: int = 0, width: float | None = None):
+    return vgg19(
+        num_classes=num_classes,
+        width_multiplier=VGG_WIDTH if width is None else width,
+        image_size=IMAGE_SIZE,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def make_resnet18(num_classes: int = 100, seed: int = 0, width: float | None = None):
+    return resnet18(
+        num_classes=num_classes,
+        width_multiplier=RESNET_WIDTH if width is None else width,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def make_runner(
+    model,
+    train_loader,
+    test_loader,
+    max_iterations: int = 3,
+    epochs_cap: int = 8,
+    min_epochs: int = 4,
+    initial_bits: int = 16,
+    prune: bool = False,
+    lr: float = 3e-3,
+    architecture: str = "model",
+    dataset: str = "dataset",
+    final_epochs: int = 0,
+) -> ExperimentRunner:
+    schedule = QuantizationSchedule(
+        initial_bits=initial_bits,
+        max_iterations=max_iterations,
+        max_epochs_per_iteration=epochs_cap,
+        min_epochs_per_iteration=min_epochs,
+        final_epochs=final_epochs,
+    )
+    return ExperimentRunner(
+        model,
+        train_loader,
+        test_loader,
+        Adam(model.parameters(), lr=lr),
+        CrossEntropyLoss(),
+        input_shape=(3, IMAGE_SIZE, IMAGE_SIZE),
+        schedule=schedule,
+        saturation=SaturationDetector(window=3, tolerance=0.04),
+        prune=prune,
+        architecture=architecture,
+        dataset=dataset,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paper reference vectors (for the training-free hardware benches).
+# ---------------------------------------------------------------------------
+# Table II(a) iteration 2 bit-widths for VGG19/CIFAR-10 (17 layers).
+PAPER_VGG19_BITS_ITER2 = [16, 4, 5, 4, 3, 2, 2, 2, 3, 3, 3, 4, 3, 3, 3, 3, 16]
+
+# Table III(a) iteration 2 channel counts for VGG19 (16 conv layers).
+PAPER_VGG19_PRUNED_CHANNELS = [
+    19, 22, 38, 24, 45, 37, 44, 54, 103, 126, 150, 125, 122, 112, 111, 8,
+]
+
+# ResNet18 18-layer bit vector assembled from Table II(b) iteration 3:
+# stem + 8 blocks x (conv1, conv2) + fc.
+PAPER_RESNET18_BITS_ITER3 = [
+    16, 5, 3, 3, 5, 1, 1, 8, 4, 4, 6, 4, 4, 8, 3, 3, 9, 16,
+]
+
+# Table III(b) iteration 2 channel counts (stem + 16 block convs).
+PAPER_RESNET18_PRUNED_CHANNELS = [
+    21, 12, 44, 6, 47, 34, 87, 34, 89, 58, 156, 50, 146, 110, 192, 59, 59,
+]
+
+PAPER_TABLE_V = {
+    "VGG19/CIFAR-10": {"mixed_uj": 21.506, "full_uj": 110.154, "reduction": 5.12},
+    "ResNet18/CIFAR-100": {"mixed_uj": 33.186, "full_uj": 159.501, "reduction": 4.81},
+}
+
+PAPER_TABLE_VI = {
+    "VGG19/CIFAR-10": {"pruned_uj": 0.558, "full_uj": 110.154, "reduction": 197.55},
+    "ResNet18/CIFAR-100": {"pruned_uj": 3.630, "full_uj": 159.501, "reduction": 43.941},
+}

@@ -1,0 +1,70 @@
+"""Ablation — saturation-detector sensitivity (DESIGN.md §5).
+
+Algorithm 1 re-quantizes when AD "saturates"; the window/tolerance of
+the detector controls how long each iteration trains.  The bench sweeps
+the tolerance and reports epochs-per-iteration and final efficiency,
+verifying the intuitive monotonicity: looser tolerance -> earlier
+re-quantization -> fewer epochs per iteration.
+"""
+
+import numpy as np
+
+from repro.core import ADQuantizer, QuantizationSchedule, Trainer
+from repro.density import SaturationDetector
+from repro.nn import Adam, CrossEntropyLoss
+from repro.utils import format_table
+
+from common import IMAGE_SIZE, cifar10_loaders, make_vgg19
+
+
+def run_with_tolerance(tolerance: float):
+    train_loader, test_loader = cifar10_loaders(seed=5)
+    model = make_vgg19(seed=5)
+    trainer = Trainer(model, Adam(model.parameters(), lr=3e-3), CrossEntropyLoss())
+    quantizer = ADQuantizer(
+        trainer,
+        QuantizationSchedule(
+            max_iterations=2, max_epochs_per_iteration=12, min_epochs_per_iteration=3
+        ),
+        SaturationDetector(window=3, tolerance=tolerance),
+    )
+    records = quantizer.run(train_loader, test_loader)
+    return records
+
+
+def test_ablation_saturation_tolerance(benchmark):
+    def run_all():
+        return {tol: run_with_tolerance(tol) for tol in (0.005, 0.05, 0.5)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    first_iter_epochs = {}
+    for tolerance, records in results.items():
+        epochs = [r.epochs_trained for r in records]
+        first_iter_epochs[tolerance] = epochs[0]
+        rows.append(
+            [
+                f"{tolerance:g}",
+                str(epochs),
+                f"{records[-1].total_density:.3f}",
+                f"{records[-1].test_accuracy * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["Tolerance", "Epochs per iter", "Final total AD", "Final acc"],
+            rows,
+            title="Ablation — saturation tolerance sweep",
+        )
+    )
+
+    # Looser tolerance never trains longer before re-quantizing.
+    assert (
+        first_iter_epochs[0.5]
+        <= first_iter_epochs[0.05]
+        <= first_iter_epochs[0.005]
+    )
+    # Loosest setting fires at the window bound.
+    assert first_iter_epochs[0.5] == 3

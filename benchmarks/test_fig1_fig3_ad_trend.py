@@ -1,0 +1,63 @@
+"""E1 — Figs. 1 & 3: per-layer AD vs training epochs, 16-bit baseline.
+
+The paper's observation (basis of Algorithm 1): AD stabilizes during
+training at values < 1.0, with a heterogeneous per-layer profile.  The
+bench trains a BN-free VGG19 (classic VGG — BatchNorm pins post-ReLU
+density near 0.5 and hides the per-layer heterogeneity of the paper's
+curves) at 16-bit and prints each layer's AD trajectory.
+"""
+
+import numpy as np
+
+from repro.core import Trainer
+from repro.density import SaturationDetector
+from repro.models import vgg19
+from repro.nn import Adam, CrossEntropyLoss
+from repro.utils import format_table
+
+from common import IMAGE_SIZE, cifar10_loaders
+
+EPOCHS = 14
+
+
+def run_baseline():
+    train_loader, _ = cifar10_loaders()
+    model = vgg19(
+        num_classes=10,
+        width_multiplier=0.125,
+        image_size=IMAGE_SIZE,
+        batch_norm=False,
+        rng=np.random.default_rng(0),
+    )
+    for handle in model.layer_handles():
+        handle.apply_bits(16)
+    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), CrossEntropyLoss())
+    trainer.fit(train_loader, epochs=EPOCHS)
+    return trainer
+
+
+def test_fig1_fig3_ad_saturates_below_one(benchmark):
+    trainer = benchmark.pedantic(run_baseline, rounds=1, iterations=1)
+    monitor = trainer.monitor
+
+    print()
+    headers = ["Layer"] + [f"ep{e}" for e in range(0, EPOCHS, 2)]
+    rows = []
+    for name in monitor.layer_names:
+        series = monitor.series(name)
+        rows.append([name] + [f"{series[e]:.2f}" for e in range(0, EPOCHS, 2)])
+    print(format_table(headers, rows, title="Fig. 1/3 — AD vs epochs (16-bit baseline)"))
+
+    final = monitor.latest()
+    # Paper: "AD converges to a value < 1.0 for all layers".
+    assert all(value < 1.0 for value in final.values())
+    # Network-level AD well below 1 => redundancy exists to exploit.
+    assert monitor.total_density() < 0.8
+    # Heterogeneous per-layer profile, as in Fig. 3.
+    values = np.array(list(final.values()))
+    assert values.max() - values.min() > 0.2
+    # Saturation: the trailing epochs move less than the early ones.
+    detector = SaturationDetector(window=4, tolerance=0.15)
+    saturated = detector.saturated_layers(monitor.history)
+    print(f"saturated layers ({len(saturated)}/{len(monitor.layer_names)}): {saturated}")
+    assert len(saturated) >= len(monitor.layer_names) // 2

@@ -1,0 +1,58 @@
+"""E7 — Table I: analytical energy constants.
+
+Regenerates the paper's Table I rows exactly (they are the model's
+constants) and benchmarks the analytical energy computation over a
+full VGG19 profile.
+"""
+
+import pytest
+
+from repro.energy import (
+    AnalyticalEnergyModel,
+    mac_energy_pj,
+    memory_access_energy_pj,
+    profile_model,
+    trace_geometry,
+)
+from repro.models import vgg19
+from repro.utils import format_table
+
+
+def test_table1_energy_constants(benchmark):
+    rows = []
+    for bits in (2, 4, 8, 16, 32):
+        rows.append(
+            [
+                f"{bits}-bit",
+                f"{memory_access_energy_pj(bits):.2f}",
+                f"{mac_energy_pj(bits):.5f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Precision", "E_Mem (pJ) = 2.5k", "E_MAC (pJ) = 3.1k/32+0.1"],
+            rows,
+            title="Table I — energy constants (45nm CMOS)",
+        )
+    )
+    # Exact Table I anchor points.
+    assert memory_access_energy_pj(1) == 2.5
+    assert mac_energy_pj(32) == pytest.approx(3.1 + 0.1)
+
+    model = vgg19(width_multiplier=1.0)
+    trace_geometry(model, (3, 32, 32))
+    profiles = profile_model(model, default_bits=16)
+    energy_model = AnalyticalEnergyModel()
+
+    result = benchmark(energy_model.network_energy, profiles)
+    print(
+        f"VGG19 16-bit analytical energy: {result.total_pj / 1e6:.2f} uJ "
+        f"(MAC {result.mac_pj / 1e6:.2f} + Mem {result.mem_pj / 1e6:.2f})"
+    )
+    assert result.total_pj > 0
+    # At 16-bit a memory access (40 pJ) costs ~24x a MAC (1.65 pJ), so
+    # the memory term is a large share of the analytical estimate — one
+    # reason the paper contrasts it with the PIM platform, where memory
+    # access energy is absorbed into the array.
+    assert result.mem_pj > 0.3 * result.total_pj

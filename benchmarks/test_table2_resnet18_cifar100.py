@@ -1,0 +1,52 @@
+"""E4 — Table II(b): AD quantization, ResNet18 on (synthetic) CIFAR-100.
+
+Paper shape: 2.76-3.19x energy efficiency at near-iso accuracy, training
+complexity ~0.6-0.7x, with skip branches following destination-layer
+bit-widths (Fig. 2).
+"""
+
+from common import cifar100_loaders, make_resnet18, make_runner
+
+
+def run_experiment():
+    train_loader, test_loader = cifar100_loaders()
+    model = make_resnet18(num_classes=100, seed=1)
+    runner = make_runner(
+        model,
+        train_loader,
+        test_loader,
+        max_iterations=3,
+        epochs_cap=8,
+        min_epochs=4,
+        architecture="ResNet18",
+        dataset="SyntheticCIFAR100",
+    )
+    return runner.run(), runner
+
+
+def test_table2b_resnet18_cifar100(benchmark):
+    report, runner = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(report.format())
+
+    baseline = report.rows[0]
+    final = report.rows[-1]
+    assert baseline.energy_efficiency == 1.0
+    assert len(baseline.bit_widths) == 18  # stem + 16 block convs + fc
+    assert final.energy_efficiency > 1.5
+    assert final.train_complexity < 1.0
+    # 100-way classification at micro scale: accuracy above chance and not
+    # collapsed relative to baseline.
+    assert final.test_accuracy > 1.0 / 100
+    assert final.test_accuracy >= baseline.test_accuracy - 0.10
+
+    # Fig. 2 invariant: every block's skip machinery carries the
+    # destination layer's bit-width.
+    model = runner.model
+    for handle in model.layer_handles():
+        if handle.name.endswith("conv2"):
+            block = handle.host
+            assert block.skip_quant.bits == handle.current_bits()
+            if handle.follower_units:
+                downsample = handle.follower_units[0]
+                assert downsample.conv.weight_fake_quant.bits == handle.current_bits()

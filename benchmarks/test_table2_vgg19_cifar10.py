@@ -1,0 +1,57 @@
+"""E3 — Table II(a): AD quantization, VGG19 on (synthetic) CIFAR-10.
+
+Runs Algorithm 1 end to end and prints the paper's columns per
+iteration, including the row-2a variant that removes the dead last conv
+layer.  Expected shape (not absolute numbers): iso-accuracy with the
+baseline, energy efficiency ~4x by the final iteration, training
+complexity < 1x.
+"""
+
+from common import cifar10_loaders, make_runner, make_vgg19
+
+
+def run_experiment():
+    train_loader, test_loader = cifar10_loaders()
+    model = make_vgg19(seed=0)
+    runner = make_runner(
+        model,
+        train_loader,
+        test_loader,
+        max_iterations=3,
+        epochs_cap=12,
+        min_epochs=6,
+        architecture="VGG19",
+        dataset="SyntheticCIFAR10",
+    )
+    report = runner.run()
+    # Row 2a: drop the last conv layer (512->512, shape-preserving) and
+    # retrain briefly, as in the paper's iteration-2a row.
+    row_2a = runner.remove_layer_and_retrain("conv16", epochs=3, label="2a")
+    report.rows.append(row_2a)
+    return report
+
+
+def test_table2a_vgg19_cifar10(benchmark):
+    report = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    print(report.format())
+
+    baseline, *rest = report.rows
+    final_quant = rest[-2] if len(rest) >= 2 else rest[-1]
+    row_2a = report.rows[-1]
+
+    # Row 1 is the reference by construction.
+    assert baseline.energy_efficiency == 1.0
+    assert baseline.bit_widths == [16] * 17
+    # Quantized rows: mixed precision with frozen 16-bit ends.
+    assert final_quant.bit_widths[0] == 16 and final_quant.bit_widths[-1] == 16
+    assert any(b < 16 for b in final_quant.bit_widths[1:-1])
+    # Energy efficiency in the paper's band (they report 4.16-4.19x).
+    assert final_quant.energy_efficiency > 2.0
+    # Iso-accuracy: within 10 points of the baseline at this micro scale.
+    assert final_quant.test_accuracy >= baseline.test_accuracy - 0.10
+    # Training complexity reduced (paper: ~0.5x).
+    assert final_quant.train_complexity < 1.0
+    # Row 2a drops one layer => 16 bit-width entries, efficiency >= final.
+    assert len(row_2a.bit_widths) == 16
+    assert row_2a.energy_efficiency >= final_quant.energy_efficiency

@@ -1,0 +1,116 @@
+"""Scenario 3 — the PIM hardware platform, end to end (paper §V).
+
+1. Executes an actual layer's integer GEMM on the functional PIM
+   simulator (input decoder -> 1-bit SRAM multiply array -> hierarchical
+   shift-accumulators) and verifies it against exact integer matmul.
+2. Reports component activity (cell multiplies, ACC4/8/16 operations).
+3. Regenerates the paper's Tables IV, V and VI energy comparisons using
+   the paper's own bit-width/channel vectors on paper-size models —
+   no training required.
+
+Run:  python examples/pim_energy_analysis.py
+"""
+
+import numpy as np
+
+from repro.energy import profile_model, trace_geometry
+from repro.models import vgg19
+from repro.pim import (
+    TABLE_IV_MAC_ENERGY_FJ,
+    PIMAccelerator,
+    PIMEnergyModel,
+    map_layer,
+)
+from repro.quant import LayerQuantSpec, QuantizationPlan, UniformQuantizer
+from repro.utils import format_table
+
+# Table II(a) iteration-2 bit-widths (17 layers of VGG19).
+PAPER_BITS = [16, 4, 5, 4, 3, 2, 2, 2, 3, 3, 3, 4, 3, 3, 3, 3, 16]
+
+
+def functional_demo():
+    """Run a 4-bit quantized linear layer on the simulated hardware."""
+    rng = np.random.default_rng(0)
+    bits = 4
+    activations = np.abs(rng.normal(size=(8, 32)))  # post-ReLU
+    weights = rng.normal(size=(32, 16))
+
+    act_q = UniformQuantizer(bits, dynamic=False).calibrate(activations)
+    weight_q = UniformQuantizer(bits, dynamic=False).calibrate(weights)
+
+    accelerator = PIMAccelerator(rows=32, cols=64)
+    accelerator.load_matrix(weight_q.encode(weights), bits)
+    result = accelerator.matmul(act_q.encode(activations))
+    expected = act_q.encode(activations) @ weight_q.encode(weights)
+    assert np.array_equal(result, expected), "PIM datapath must be exact"
+
+    report = accelerator.activity()
+    print("Functional PIM execution (4-bit, 32x16 GEMM, batch 8): exact ✓")
+    print(
+        f"  activity: {report.cell_ops} cell multiplies, "
+        f"{report.accumulator.acc4_ops} ACC4 + {report.accumulator.acc8_ops} ACC8 "
+        f"+ {report.accumulator.acc16_ops} ACC16 ops, "
+        f"{report.decoder_fetches} decoder fetches"
+    )
+
+
+def table_iv():
+    rows = [[f"{b}-bit", f"{e:.3f}"] for b, e in TABLE_IV_MAC_ENERGY_FJ.items()]
+    print()
+    print(format_table(["Precision", "E_MAC (fJ)"], rows,
+                       title="Table IV — PIM MAC energy per precision"))
+
+
+def tables_v_vi():
+    model = vgg19(num_classes=10, width_multiplier=1.0)
+    trace_geometry(model, (3, 32, 32))
+    pim = PIMEnergyModel()
+
+    full = pim.network_energy(profile_model(model, default_bits=16))
+    names = model.layer_handles().names()
+    plan = QuantizationPlan(
+        [LayerQuantSpec(n, b) for n, b in zip(names, PAPER_BITS)]
+    )
+    mixed = pim.network_energy(profile_model(model, plan=plan))
+
+    print()
+    print(
+        format_table(
+            ["Model", "Energy (uJ)", "Reduction", "Paper"],
+            [
+                ["VGG19 16-bit full precision", f"{full.total_uj:.3f}", "1x",
+                 "110.154 uJ"],
+                ["VGG19 mixed (Table II(a) bits)", f"{mixed.total_uj:.3f}",
+                 f"{full.total_uj / mixed.total_uj:.2f}x", "21.506 uJ / 5.12x"],
+            ],
+            title="Table V — network energy on the PIM platform",
+        )
+    )
+
+    # Layer mapping summary for the first few layers.
+    profiles = profile_model(model, plan=plan)
+    rows = []
+    for profile in profiles[:5]:
+        mapping = map_layer(profile, rows=128, cols=128)
+        rows.append(
+            [profile.name, f"{profile.bits} -> {mapping.hardware_bits}",
+             mapping.total_tiles, f"{mapping.macs:,}"]
+        )
+    print()
+    print(
+        format_table(
+            ["Layer", "bits (algo -> hw)", "array tiles (128x128)", "MACs"],
+            rows,
+            title="Layer placement on the PIM platform",
+        )
+    )
+
+
+def main():
+    functional_demo()
+    table_iv()
+    tables_v_vi()
+
+
+if __name__ == "__main__":
+    main()

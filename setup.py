@@ -1,0 +1,10 @@
+"""Setup shim for offline environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` requires bdist_wheel; in fully
+offline environments `python setup.py develop` provides the same
+editable install through setuptools' legacy path.
+"""
+
+from setuptools import setup
+
+setup()

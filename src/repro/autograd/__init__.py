@@ -1,0 +1,22 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the numerical substrate of the reproduction: a small,
+tape-based autograd engine in the spirit of PyTorch's eager mode.  Every
+training experiment in the paper (fake-quantized forward passes, straight-
+through gradient estimation, standard backpropagation) is executed through
+the :class:`~repro.autograd.tensor.Tensor` type defined here.
+
+Public API
+----------
+``Tensor``
+    N-dimensional array with gradient tracking.
+``no_grad``
+    Context manager disabling graph construction (evaluation mode).
+``grad_check``
+    Finite-difference gradient verification used extensively by the tests.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd.gradcheck import grad_check
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "grad_check"]

@@ -1,0 +1,180 @@
+"""Convolution and pooling primitives built on im2col.
+
+These are the compute-dominant operations in VGG19/ResNet18 training, so
+they are implemented as single fused graph nodes (rather than compositions
+of indexing ops) with vectorized forward/backward numpy kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def _im2col_indices(height, width, kernel, stride, padding):
+    """Index arrays that gather conv patches into a matrix."""
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    i0 = np.repeat(np.arange(kernel), kernel)
+    j0 = np.tile(np.arange(kernel), kernel)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    return rows, cols, out_h, out_w
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int):
+    """Rearrange (N, C, H, W) into (C*k*k, N*out_h*out_w) patch columns."""
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    rows, cols, out_h, out_w = _im2col_indices(h, w, kernel, stride, padding)
+    # Shape: (N, C, k*k, out_h*out_w)
+    patches = x[:, :, rows, cols]
+    # -> (C, k*k, N, out_h*out_w) -> (C*k*k, N*out_h*out_w)
+    patches = patches.transpose(1, 2, 0, 3).reshape(c * kernel * kernel, -1)
+    return patches, out_h, out_w
+
+
+def col2im(cols: np.ndarray, x_shape, kernel: int, stride: int, padding: int):
+    """Adjoint of :func:`im2col`: scatter patch columns back, accumulating."""
+    n, c, h, w = x_shape
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    x_padded = np.zeros((n, c, h_pad, w_pad))
+    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kernel, stride, padding)
+    reshaped = cols.reshape(c, kernel * kernel, n, out_h * out_w).transpose(2, 0, 1, 3)
+    np.add.at(x_padded, (slice(None), slice(None), rows, cols_idx), reshaped)
+    if padding > 0:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution: x (N,C,H,W) * weight (O,C,k,k) -> (N,O,H',W')."""
+    n, c, h, w = x.data.shape
+    out_channels, in_channels, kernel, kernel_w = weight.data.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if in_channels != c:
+        raise ValueError(f"input has {c} channels, weight expects {in_channels}")
+
+    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(out_channels, -1)
+    out = w_mat @ cols  # (O, N*out_h*out_w)
+    out = out.reshape(out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        # grad: (N, O, out_h, out_w)
+        grad_mat = grad.transpose(1, 0, 2, 3).reshape(out_channels, -1)
+        grad_w = (grad_mat @ cols.T).reshape(weight.data.shape)
+        grad_cols = w_mat.T @ grad_mat
+        grad_x = col2im(grad_cols, x.data.shape, kernel, stride, padding)
+        if bias is None:
+            return (grad_x, grad_w)
+        grad_b = grad.sum(axis=(0, 2, 3))
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor.from_op(out, parents, backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping or strided square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        # Fast path: reshape into blocks.
+        reshaped = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(
+            n, c, out_h, out_w, kernel * kernel
+        )
+    else:
+        cols, out_h, out_w = im2col(
+            x.data.reshape(n * c, 1, h, w), kernel, stride, 0
+        )
+        windows = cols.reshape(kernel * kernel, n * c, out_h * out_w)
+        windows = windows.transpose(1, 2, 0).reshape(n, c, out_h, out_w, -1)
+
+    argmax = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad):
+        grad_windows = np.zeros_like(windows)
+        np.put_along_axis(grad_windows, argmax[..., None], grad[..., None], axis=-1)
+        if stride == kernel and h % kernel == 0 and w % kernel == 0:
+            g = grad_windows.reshape(n, c, out_h, out_w, kernel, kernel)
+            g = g.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+            return (g,)
+        cols_grad = grad_windows.reshape(n * c, out_h * out_w, kernel * kernel)
+        cols_grad = cols_grad.transpose(2, 0, 1).reshape(kernel * kernel, -1)
+        g = col2im(cols_grad, (n * c, 1, h, w), kernel, stride, 0)
+        return (g.reshape(n, c, h, w),)
+
+    return Tensor.from_op(out, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        out_h, out_w = h // kernel, w // kernel
+        reshaped = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+        out = reshaped.mean(axis=(3, 5))
+
+        def backward(grad):
+            g = grad[:, :, :, None, :, None] / (kernel * kernel)
+            g = np.broadcast_to(g, (n, c, out_h, kernel, out_w, kernel))
+            return (g.reshape(n, c, h, w),)
+
+        return Tensor.from_op(out, (x,), backward, "avg_pool2d")
+
+    cols, out_h, out_w = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    windows = cols.reshape(kernel * kernel, n * c, out_h * out_w)
+    out = windows.mean(axis=0).reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        grad_flat = grad.reshape(1, n * c, out_h * out_w) / (kernel * kernel)
+        cols_grad = np.broadcast_to(grad_flat, (kernel * kernel, n * c, out_h * out_w))
+        cols_grad = cols_grad.reshape(kernel * kernel, -1)
+        g = col2im(cols_grad, (n * c, 1, h, w), kernel, stride, 0)
+        return (g.reshape(n, c, h, w),)
+
+    return Tensor.from_op(out, (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling collapsing the spatial dimensions to 1x1."""
+    n, c, h, w = x.data.shape
+    out = x.data.mean(axis=(2, 3), keepdims=True)
+
+    def backward(grad):
+        g = np.broadcast_to(grad / (h * w), (n, c, h, w))
+        return (g.copy(),)
+
+    return Tensor.from_op(out, (x,), backward, "global_avg_pool2d")

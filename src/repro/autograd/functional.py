@@ -1,0 +1,78 @@
+"""Composite differentiable functions: softmax, log-softmax, one-hot CE.
+
+Numerically-stable formulations with fused backward closures where the
+composition through primitive ops would be wasteful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return (out * (grad - dot),)
+
+    return Tensor.from_op(out, (x,), backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    soft = np.exp(out)
+
+    def backward(grad):
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor.from_op(out, (x,), backward, "log_softmax")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, K) and integer ``targets`` (N,).
+
+    Fused log-softmax + NLL with the standard ``softmax - onehot`` gradient.
+    """
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError("targets must be a 1-D array of class indices")
+    n = logits.data.shape[0]
+    if targets.shape[0] != n:
+        raise ValueError("batch size mismatch between logits and targets")
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_sum
+    loss = -log_probs[np.arange(n), targets].mean()
+    soft = np.exp(log_probs)
+
+    def backward(grad):
+        g = soft.copy()
+        g[np.arange(n), targets] -= 1.0
+        return (g * (grad / n),)
+
+    return Tensor.from_op(np.asarray(loss), (logits,), backward, "cross_entropy")
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-p) during training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    out = x.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor.from_op(out, (x,), backward, "dropout")

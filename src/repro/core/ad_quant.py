@@ -1,0 +1,209 @@
+"""Algorithm 1: Activation-Density based in-training quantization.
+
+Pseudocode from the paper::
+
+    Initialize model M with random weights
+    Set bit width k(0)_l = 16 of initial model, for all l in M
+    for iter = 1 to N:
+        for epoch = 1 to #(epochs):
+            Forward and Backward Propagation of M
+            Compute AD_l for all l in M        (eqn. 2)
+            if AD_l is saturated for all l: break
+        for each layer l in M:
+            k(iter)_l = round(k(iter-1)_l * AD_l)   (eqn. 3)
+
+The loop naturally terminates once AD reaches ~1.0 everywhere, because
+``round(k * 1.0) == k`` leaves the plan unchanged; the paper observes
+convergence "within 3 to 4 iterations" starting from 16-bit.  The first
+and last layers are never re-quantized (kept at ``frozen_bits``), and
+ResNet skip branches follow their destination layer via the registry's
+follower mechanism (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trainer import Trainer
+from repro.density import SaturationDetector
+from repro.quant import LayerQuantSpec, QuantizationPlan
+
+
+@dataclass
+class IterationRecord:
+    """Outcome of one quantization iteration (one row of Table II)."""
+
+    iteration: int
+    plan: QuantizationPlan
+    epochs_trained: int
+    densities: dict[str, float]
+    total_density: float
+    train_accuracy: float
+    test_accuracy: float | None = None
+
+
+@dataclass
+class QuantizationSchedule:
+    """Hyper-parameters of the Algorithm-1 run."""
+
+    initial_bits: int = 16
+    frozen_bits: int = 16
+    max_iterations: int = 4
+    max_epochs_per_iteration: int = 100
+    min_epochs_per_iteration: int = 1
+    final_epochs: int = 0
+    min_bits: int = 1
+
+    def __post_init__(self):
+        if self.initial_bits < 1 or self.frozen_bits < 1:
+            raise ValueError("bit-widths must be >= 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.min_epochs_per_iteration < 1:
+            raise ValueError("min_epochs_per_iteration must be >= 1")
+        if self.max_epochs_per_iteration < self.min_epochs_per_iteration:
+            raise ValueError("max_epochs < min_epochs")
+        if self.min_bits < 1:
+            raise ValueError("min_bits must be >= 1")
+
+
+class ADQuantizer:
+    """Runs Algorithm 1 on a model through a :class:`Trainer`.
+
+    Parameters
+    ----------
+    trainer:
+        Bound to the model being quantized.
+    schedule:
+        Iteration/epoch/bit-width hyper-parameters.
+    saturation:
+        AD-stability criterion triggering each re-quantization.
+    """
+
+    def __init__(
+        self,
+        trainer: Trainer,
+        schedule: QuantizationSchedule | None = None,
+        saturation: SaturationDetector | None = None,
+    ):
+        self.trainer = trainer
+        self.schedule = schedule or QuantizationSchedule()
+        self.saturation = saturation or SaturationDetector(window=5, tolerance=0.02)
+        self.registry = trainer.registry
+        self.records: list[IterationRecord] = []
+        self._plan: QuantizationPlan | None = None
+
+    # ------------------------------------------------------------------
+    # Plan management
+    # ------------------------------------------------------------------
+    def initial_plan(self) -> QuantizationPlan:
+        """Uniform ``initial_bits`` plan with frozen first/last layers."""
+        specs = []
+        for handle in self.registry:
+            frozen = handle.role in ("first", "last")
+            bits = self.schedule.frozen_bits if frozen else self.schedule.initial_bits
+            specs.append(LayerQuantSpec(handle.name, bits, frozen=frozen))
+        return QuantizationPlan(specs)
+
+    def apply_plan(self, plan: QuantizationPlan) -> None:
+        """Install fake-quantizers matching ``plan`` on the model."""
+        if len(plan) != len(self.registry):
+            raise ValueError("plan/registry length mismatch")
+        for spec, handle in zip(plan, self.registry):
+            if spec.name != handle.name:
+                raise ValueError(
+                    f"plan order mismatch: {spec.name} vs {handle.name}"
+                )
+            handle.apply_bits(spec.bits, enabled=True)
+        self._plan = plan
+
+    @property
+    def plan(self) -> QuantizationPlan:
+        if self._plan is None:
+            raise RuntimeError("no plan applied yet — call run() or apply_plan()")
+        return self._plan
+
+    def update_plan(self, densities: dict[str, float]) -> QuantizationPlan:
+        """Eqn. 3: ``k_l <- round(k_l * AD_l)`` for every non-frozen layer."""
+        new_specs = []
+        for spec in self.plan:
+            if spec.frozen:
+                new_specs.append(spec)
+                continue
+            density = densities[spec.name]
+            if not 0.0 <= density <= 1.0:
+                raise ValueError(f"AD out of range for {spec.name}: {density}")
+            bits = max(self.schedule.min_bits, int(round(spec.bits * density)))
+            new_specs.append(
+                LayerQuantSpec(
+                    spec.name,
+                    bits,
+                    quantize_weights=spec.quantize_weights,
+                    quantize_activations=spec.quantize_activations,
+                    frozen=spec.frozen,
+                )
+            )
+        return QuantizationPlan(new_specs)
+
+    # ------------------------------------------------------------------
+    # Training phases
+    # ------------------------------------------------------------------
+    def _train_until_saturation(self, loader) -> tuple[int, float]:
+        """Train epochs until every layer's AD saturates (or the cap).
+
+        Returns (epochs trained this iteration, last train accuracy).
+        Saturation is judged on the AD history *within this iteration*,
+        so a plateau inherited from the previous precision does not
+        spuriously trigger an immediate re-quantization.
+        """
+        iteration_history: dict[str, list[float]] = {
+            name: [] for name in self.registry.names()
+        }
+        epochs = 0
+        accuracy = 0.0
+        while epochs < self.schedule.max_epochs_per_iteration:
+            stats = self.trainer.train_epoch(loader)
+            epochs += 1
+            accuracy = stats.accuracy
+            for name, value in stats.densities.items():
+                iteration_history[name].append(value)
+            if (
+                epochs >= self.schedule.min_epochs_per_iteration
+                and self.saturation.all_saturated(iteration_history)
+            ):
+                break
+        return epochs, accuracy
+
+    def run(self, train_loader, test_loader=None) -> list[IterationRecord]:
+        """Execute Algorithm 1 end to end; returns per-iteration records."""
+        self.apply_plan(self.initial_plan())
+        for iteration in range(1, self.schedule.max_iterations + 1):
+            epochs, accuracy = self._train_until_saturation(train_loader)
+            densities = self.trainer.monitor.latest()
+            total_density = self.trainer.monitor.total_density()
+            record = IterationRecord(
+                iteration=iteration,
+                plan=self.plan.copy(),
+                epochs_trained=epochs,
+                densities=dict(densities),
+                total_density=total_density,
+                train_accuracy=accuracy,
+                test_accuracy=(
+                    self.trainer.evaluate(test_loader) if test_loader else None
+                ),
+            )
+            self.records.append(record)
+            new_plan = self.update_plan(densities)
+            if new_plan.bit_widths() == self.plan.bit_widths():
+                break  # AD ~ 1 everywhere: further quantization impossible.
+            self.apply_plan(new_plan)
+        if self.schedule.final_epochs > 0:
+            self.trainer.fit(train_loader, self.schedule.final_epochs)
+            final = self.records[-1]
+            final.epochs_trained += self.schedule.final_epochs
+            final.densities = dict(self.trainer.monitor.latest())
+            final.total_density = self.trainer.monitor.total_density()
+            final.train_accuracy = self.trainer.history[-1].accuracy
+            if test_loader is not None:
+                final.test_accuracy = self.trainer.evaluate(test_loader)
+        return self.records

@@ -1,0 +1,64 @@
+"""Training-complexity metric (paper eqn. 4, from [23]).
+
+    TC = sum over quantization iterations i of
+         (MAC reduction_i)^-1 * (# epochs_i)
+
+Each iteration trains a progressively cheaper model; weighting its epoch
+count by the inverse of its MAC(-energy) reduction expresses total
+training compute in "baseline-epoch equivalents".  The paper reports TC
+relative to the baseline run (e.g. 0.524x for VGG19/CIFAR-10), where the
+baseline trains at full precision for the full epoch budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrainingComplexity:
+    """Accumulates (mac_reduction, epochs) pairs across iterations.
+
+    Parameters
+    ----------
+    baseline_epochs:
+        Epoch budget of the full-precision baseline used for
+        normalization (the paper's VGG19 baseline trains 210 epochs in
+        Fig. 3; its TC is ``baseline_epochs * 1``).
+    """
+
+    baseline_epochs: int
+    iterations: list[tuple[float, int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.baseline_epochs < 1:
+            raise ValueError("baseline_epochs must be >= 1")
+
+    def add_iteration(self, mac_reduction: float, epochs: int) -> None:
+        """Record one quantization iteration."""
+        if mac_reduction <= 0:
+            raise ValueError("mac_reduction must be positive")
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        self.iterations.append((mac_reduction, epochs))
+
+    def raw(self) -> float:
+        """Eqn. 4: sum of epochs_i / mac_reduction_i."""
+        if not self.iterations:
+            raise RuntimeError("no iterations recorded")
+        return sum(epochs / reduction for reduction, epochs in self.iterations)
+
+    def relative(self) -> float:
+        """TC normalized by the baseline (1.0 = baseline cost)."""
+        return self.raw() / self.baseline_epochs
+
+    def total_epochs(self) -> int:
+        return sum(epochs for _, epochs in self.iterations)
+
+    def __repr__(self) -> str:
+        if not self.iterations:
+            return "TrainingComplexity(empty)"
+        return (
+            f"TrainingComplexity(raw={self.raw():.2f} baseline-epochs, "
+            f"relative={self.relative():.3f}x)"
+        )

@@ -1,0 +1,112 @@
+"""Report export: JSON and CSV serializations of experiment reports.
+
+Downstream users typically want the Table II/III rows in machine-readable
+form for plotting or aggregation across seeds; this module provides both
+formats plus a loader for round-tripping.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.core.runner import ExperimentReport, TableRow
+
+
+def report_to_dict(report: ExperimentReport) -> dict:
+    """Plain-dict form of a report (JSON-serializable)."""
+    return {
+        "architecture": report.architecture,
+        "dataset": report.dataset,
+        "layer_names": list(report.layer_names),
+        "rows": [
+            {
+                "iteration": row.iteration,
+                "label": row.label,
+                "bit_widths": list(row.bit_widths),
+                "channel_counts": (
+                    list(row.channel_counts) if row.channel_counts else None
+                ),
+                "test_accuracy": row.test_accuracy,
+                "total_ad": row.total_ad,
+                "energy_efficiency": row.energy_efficiency,
+                "epochs": row.epochs,
+                "train_complexity": row.train_complexity,
+            }
+            for row in report.rows
+        ],
+    }
+
+
+def save_report_json(report: ExperimentReport, path) -> None:
+    """Write the report as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report_to_dict(report), indent=2))
+
+
+def load_report_json(path) -> ExperimentReport:
+    """Reconstruct a report from :func:`save_report_json` output."""
+    payload = json.loads(Path(path).read_text())
+    report = ExperimentReport(
+        architecture=payload["architecture"],
+        dataset=payload["dataset"],
+        layer_names=list(payload["layer_names"]),
+    )
+    for row in payload["rows"]:
+        report.rows.append(
+            TableRow(
+                iteration=row["iteration"],
+                bit_widths=list(row["bit_widths"]),
+                test_accuracy=row["test_accuracy"],
+                total_ad=row["total_ad"],
+                energy_efficiency=row["energy_efficiency"],
+                epochs=row["epochs"],
+                train_complexity=row["train_complexity"],
+                channel_counts=(
+                    list(row["channel_counts"]) if row["channel_counts"] else None
+                ),
+                label=row.get("label", ""),
+            )
+        )
+    return report
+
+
+def save_report_csv(report: ExperimentReport, path) -> None:
+    """Write one CSV row per iteration (bit/channel vectors as JSON cells)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "architecture",
+                "dataset",
+                "iteration",
+                "label",
+                "bit_widths",
+                "channel_counts",
+                "test_accuracy",
+                "total_ad",
+                "energy_efficiency",
+                "epochs",
+                "train_complexity",
+            ]
+        )
+        for row in report.rows:
+            writer.writerow(
+                [
+                    report.architecture,
+                    report.dataset,
+                    row.iteration,
+                    row.label,
+                    json.dumps(row.bit_widths),
+                    json.dumps(row.channel_counts) if row.channel_counts else "",
+                    f"{row.test_accuracy:.6f}",
+                    f"{row.total_ad:.6f}",
+                    f"{row.energy_efficiency:.6f}",
+                    row.epochs,
+                    f"{row.train_complexity:.6f}",
+                ]
+            )

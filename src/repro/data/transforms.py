@@ -1,0 +1,72 @@
+"""Per-sample image transforms (augmentation and normalization).
+
+Transforms operate on single images of shape (C, H, W) and are composed
+with :class:`Compose`.  Random transforms take an explicit generator for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: list):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class Normalize:
+    """Channel-wise standardization: (x - mean) / std."""
+
+    def __init__(self, mean, std):
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std entries must be positive")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size."""
+
+    def __init__(self, padding: int = 4, rng: np.random.Generator | None = None):
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        c, h, w = image.shape
+        padded = np.pad(
+            image,
+            ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+        )
+        top = int(self.rng.integers(0, 2 * self.padding + 1))
+        left = int(self.rng.integers(0, 2 * self.padding + 1))
+        return padded[:, top : top + h, left : left + w]

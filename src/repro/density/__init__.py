@@ -1,0 +1,20 @@
+"""Activation Density (AD) measurement — the paper's central metric.
+
+AD = (# non-zero activations) / (# total activations)   (eqn. 2)
+
+measured on post-ReLU layer outputs over the training set.  The package
+provides per-layer meters, an epoch-level monitor with history, and the
+saturation detector that triggers each quantization iteration of
+Algorithm 1.
+"""
+
+from repro.density.meter import ActivationDensityMeter, activation_density
+from repro.density.monitor import DensityMonitor
+from repro.density.saturation import SaturationDetector
+
+__all__ = [
+    "activation_density",
+    "ActivationDensityMeter",
+    "DensityMonitor",
+    "SaturationDetector",
+]

@@ -1,0 +1,88 @@
+"""Per-layer activation-density accumulation (paper eqn. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def activation_density(activations: np.ndarray, threshold: float = 0.0) -> float:
+    """AD of a single activation array: fraction of entries > threshold.
+
+    ReLU outputs are non-negative, so "non-zero" is ``> 0``; ``threshold``
+    allows treating tiny magnitudes as zero (used in ablations).
+    """
+    activations = np.asarray(activations)
+    if activations.size == 0:
+        raise ValueError("cannot compute density of an empty activation array")
+    return float(np.count_nonzero(activations > threshold) / activations.size)
+
+
+class ActivationDensityMeter:
+    """Streaming AD accumulator for one layer.
+
+    Batches are folded in with :meth:`update`; :meth:`density` returns
+    the AD over everything seen since the last :meth:`reset`.  This
+    matches the paper's definition of AD "calculated by passing the
+    training set through the network".
+
+    The meter also accumulates *per-channel* non-zero counts (channel =
+    axis 1 for conv maps, feature axis for 2-D activations), which the
+    AD-based pruner uses to rank channels when shrinking a layer to
+    ``round(C_l * AD_l)`` channels (eqn. 5).
+    """
+
+    def __init__(self, name: str = "", threshold: float = 0.0):
+        self.name = name
+        self.threshold = threshold
+        self._nonzero = 0
+        self._total = 0
+        self._channel_nonzero: np.ndarray | None = None
+        self._channel_total: np.ndarray | None = None
+
+    def update(self, activations: np.ndarray) -> None:
+        activations = np.asarray(activations)
+        mask = activations > self.threshold
+        self._nonzero += int(np.count_nonzero(mask))
+        self._total += int(activations.size)
+        if activations.ndim >= 2:
+            channels = activations.shape[1]
+            reduce_axes = tuple(i for i in range(activations.ndim) if i != 1)
+            per_channel = mask.sum(axis=reduce_axes)
+            per_channel_total = activations.size // channels
+            if self._channel_nonzero is None:
+                self._channel_nonzero = per_channel.astype(np.int64)
+                self._channel_total = np.full(channels, per_channel_total, dtype=np.int64)
+            elif self._channel_nonzero.shape[0] != channels:
+                raise ValueError(
+                    f"meter {self.name!r} saw inconsistent channel counts"
+                )
+            else:
+                self._channel_nonzero += per_channel
+                self._channel_total += per_channel_total
+
+    def density(self) -> float:
+        if self._total == 0:
+            raise RuntimeError(f"density meter {self.name!r} has seen no data")
+        return self._nonzero / self._total
+
+    def channel_density(self) -> np.ndarray:
+        """Per-channel AD over everything seen since the last reset."""
+        if self._channel_nonzero is None:
+            raise RuntimeError(f"meter {self.name!r} has no per-channel data")
+        return self._channel_nonzero / np.maximum(self._channel_total, 1)
+
+    @property
+    def count(self) -> int:
+        """Total number of activation values accumulated."""
+        return self._total
+
+    def reset(self) -> None:
+        self._nonzero = 0
+        self._total = 0
+        self._channel_nonzero = None
+        self._channel_total = None
+
+    def __repr__(self) -> str:
+        if self._total == 0:
+            return f"ActivationDensityMeter({self.name!r}, empty)"
+        return f"ActivationDensityMeter({self.name!r}, AD={self.density():.3f})"

@@ -1,0 +1,71 @@
+"""Epoch-level AD history across all instrumented layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DensityMonitor:
+    """Records per-layer AD once per epoch and answers trend queries.
+
+    The monitor is the bookkeeping behind Figs. 1, 3 and 4: a dict of
+    ``layer name -> [AD at epoch 0, AD at epoch 1, ...]``.
+    """
+
+    def __init__(self, layer_names: list[str]):
+        if not layer_names:
+            raise ValueError("monitor needs at least one layer")
+        if len(set(layer_names)) != len(layer_names):
+            raise ValueError("layer names must be unique")
+        self.layer_names = list(layer_names)
+        self.history: dict[str, list[float]] = {name: [] for name in layer_names}
+
+    def record(self, densities: dict[str, float]) -> None:
+        """Append one epoch's AD snapshot (must cover every layer)."""
+        missing = set(self.layer_names) - set(densities)
+        if missing:
+            raise KeyError(f"snapshot missing layers: {sorted(missing)}")
+        for name in self.layer_names:
+            value = float(densities[name])
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"AD out of [0,1] for {name}: {value}")
+            self.history[name].append(value)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.history[self.layer_names[0]])
+
+    def latest(self) -> dict[str, float]:
+        """Most recent AD per layer."""
+        if self.num_epochs == 0:
+            raise RuntimeError("no epochs recorded yet")
+        return {name: self.history[name][-1] for name in self.layer_names}
+
+    def total_density(self, weights: dict[str, int] | None = None) -> float:
+        """Network-level AD: activation-count-weighted mean of latest ADs.
+
+        ``weights`` maps layer name to its activation count; when omitted
+        the plain mean is used (the paper reports "overall AD averaged
+        across all layers").
+        """
+        latest = self.latest()
+        if weights is None:
+            return float(np.mean(list(latest.values())))
+        total = sum(weights[name] for name in self.layer_names)
+        if total <= 0:
+            raise ValueError("weights must have positive total")
+        return float(
+            sum(latest[name] * weights[name] for name in self.layer_names) / total
+        )
+
+    def series(self, name: str) -> list[float]:
+        """Full AD-vs-epoch series for one layer (a Fig. 1/3/4 curve)."""
+        return list(self.history[name])
+
+    def as_matrix(self) -> np.ndarray:
+        """(num_layers, num_epochs) AD matrix."""
+        return np.array([self.history[name] for name in self.layer_names])
+
+    def reset(self) -> None:
+        for name in self.layer_names:
+            self.history[name].clear()

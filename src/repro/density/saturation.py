@@ -1,0 +1,59 @@
+"""Saturation detection for Algorithm 1's quantization trigger.
+
+The paper breaks training "once AD_l stabilizes across all layers" (it
+observes stabilization at ~100 epochs for the VGG19 baseline, Fig. 1).
+We formalize "stabilized" as: over a trailing window of ``window``
+epochs, the AD of every layer moved by less than ``tolerance``.
+"""
+
+from __future__ import annotations
+
+
+class SaturationDetector:
+    """Sliding-window AD-stability criterion.
+
+    Parameters
+    ----------
+    window:
+        Number of trailing epochs considered (>= 2).
+    tolerance:
+        Maximum allowed (max - min) spread of AD within the window for a
+        layer to count as saturated.
+    min_epochs:
+        Do not report saturation before this many epochs, guarding
+        against trivially-flat early training.
+    """
+
+    def __init__(self, window: int = 5, tolerance: float = 0.02, min_epochs: int = 0):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if min_epochs < 0:
+            raise ValueError("min_epochs must be non-negative")
+        self.window = window
+        self.tolerance = tolerance
+        self.min_epochs = min_epochs
+
+    def layer_saturated(self, series: list[float]) -> bool:
+        """Is a single layer's AD series saturated?"""
+        if len(series) < max(self.window, self.min_epochs):
+            return False
+        tail = series[-self.window :]
+        return (max(tail) - min(tail)) < self.tolerance
+
+    def all_saturated(self, history: dict[str, list[float]]) -> bool:
+        """Algorithm 1's break condition: every layer saturated."""
+        if not history:
+            raise ValueError("empty history")
+        return all(self.layer_saturated(series) for series in history.values())
+
+    def saturated_layers(self, history: dict[str, list[float]]) -> list[str]:
+        """Names of currently-saturated layers (for logging/diagnosis)."""
+        return [name for name, series in history.items() if self.layer_saturated(series)]
+
+    def __repr__(self) -> str:
+        return (
+            f"SaturationDetector(window={self.window}, "
+            f"tolerance={self.tolerance}, min_epochs={self.min_epochs})"
+        )

@@ -1,0 +1,44 @@
+"""Analytical energy estimation (paper §IV-A, Table I).
+
+45 nm CMOS estimates: a ``k``-bit memory access costs ``2.5 k`` pJ and a
+``k``-bit MAC costs ``3.1 k / 32 + 0.1`` pJ.  For a k_l-bit p x p
+convolution with I input channels, O output channels, N x N input and
+M x M output feature maps:
+
+    N_Mem = N^2 * I + p^2 * I * O
+    N_MAC = M^2 * I * p^2 * O
+    E_l   = N_Mem * E_Mem|k + N_MAC * E_MAC|k
+
+The paper itself notes this model "assumes impractical hardware
+architecture design scenarios which tend to overestimate the efficiency
+improvements"; the realistic counterpart is :mod:`repro.pim`.
+"""
+
+from repro.energy.constants import (
+    EnergyConstants,
+    mac_energy_pj,
+    memory_access_energy_pj,
+)
+from repro.energy.counts import conv_mac_ops, conv_mem_accesses, fc_mac_ops, fc_mem_accesses
+from repro.energy.profile import LayerProfile, profile_model, trace_geometry
+from repro.energy.analytical import (
+    AnalyticalEnergyModel,
+    NetworkEnergyBreakdown,
+    energy_efficiency,
+)
+
+__all__ = [
+    "EnergyConstants",
+    "memory_access_energy_pj",
+    "mac_energy_pj",
+    "conv_mem_accesses",
+    "conv_mac_ops",
+    "fc_mem_accesses",
+    "fc_mac_ops",
+    "LayerProfile",
+    "trace_geometry",
+    "profile_model",
+    "AnalyticalEnergyModel",
+    "NetworkEnergyBreakdown",
+    "energy_efficiency",
+]

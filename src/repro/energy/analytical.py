@@ -1,0 +1,125 @@
+"""Analytical per-layer and network energy (paper §IV-A).
+
+``E_l = N_Mem * E_Mem|k + N_MAC * E_MAC|k`` summed over layers.  The
+MAC-only component is exposed separately because the training-complexity
+metric (eqn. 4) weights epochs by *MAC reduction*, and the conclusion
+equates the headline "4.5x benefit" with OPS reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.constants import DEFAULT_CONSTANTS, EnergyConstants
+from repro.energy.counts import (
+    conv_mac_ops,
+    conv_mem_accesses,
+    fc_mac_ops,
+    fc_mem_accesses,
+)
+from repro.energy.profile import LayerProfile
+
+
+@dataclass
+class NetworkEnergyBreakdown:
+    """Total energy with per-layer and per-component detail (pJ)."""
+
+    total_pj: float
+    mac_pj: float
+    mem_pj: float
+    per_layer_pj: dict[str, float]
+
+    def __post_init__(self):
+        if self.total_pj < 0 or self.mac_pj < 0 or self.mem_pj < 0:
+            raise ValueError("energies must be non-negative")
+
+
+class AnalyticalEnergyModel:
+    """Costs layer profiles with Table-I constants."""
+
+    def __init__(self, constants: EnergyConstants | None = None):
+        self.constants = constants or DEFAULT_CONSTANTS
+
+    # ------------------------------------------------------------------
+    def layer_counts(self, profile: LayerProfile) -> tuple[int, int]:
+        """(N_Mem, N_MAC) for one layer."""
+        if profile.kind == "conv":
+            mem = conv_mem_accesses(
+                profile.input_size,
+                profile.in_channels,
+                profile.out_channels,
+                profile.kernel,
+            )
+            mac = conv_mac_ops(
+                profile.output_size,
+                profile.in_channels,
+                profile.out_channels,
+                profile.kernel,
+            )
+        else:
+            mem = fc_mem_accesses(profile.in_channels, profile.out_channels)
+            mac = fc_mac_ops(profile.in_channels, profile.out_channels)
+        return mem, mac
+
+    def layer_energy_pj(self, profile: LayerProfile) -> float:
+        """E_l = N_Mem * E_Mem|k + N_MAC * E_MAC|k."""
+        mem, mac = self.layer_counts(profile)
+        return mem * self.constants.memory_access_pj(
+            profile.bits
+        ) + mac * self.constants.mac_pj(profile.bits)
+
+    def layer_mac_energy_pj(self, profile: LayerProfile) -> float:
+        """MAC-only energy (drives the eqn.-4 MAC-reduction factor)."""
+        _, mac = self.layer_counts(profile)
+        return mac * self.constants.mac_pj(profile.bits)
+
+    # ------------------------------------------------------------------
+    def network_energy(self, profiles: list[LayerProfile]) -> NetworkEnergyBreakdown:
+        """Sum layer energies; returns a full breakdown."""
+        if not profiles:
+            raise ValueError("no layer profiles supplied")
+        per_layer: dict[str, float] = {}
+        mac_total = 0.0
+        mem_total = 0.0
+        for profile in profiles:
+            mem, mac = self.layer_counts(profile)
+            mem_e = mem * self.constants.memory_access_pj(profile.bits)
+            mac_e = mac * self.constants.mac_pj(profile.bits)
+            per_layer[profile.name] = mem_e + mac_e
+            mem_total += mem_e
+            mac_total += mac_e
+        return NetworkEnergyBreakdown(
+            total_pj=mem_total + mac_total,
+            mac_pj=mac_total,
+            mem_pj=mem_total,
+            per_layer_pj=per_layer,
+        )
+
+    def network_energy_pj(self, profiles: list[LayerProfile]) -> float:
+        return self.network_energy(profiles).total_pj
+
+    def mac_reduction(
+        self,
+        baseline_profiles: list[LayerProfile],
+        model_profiles: list[LayerProfile],
+    ) -> float:
+        """MAC-energy ratio baseline/model (the eqn.-4 weighting factor)."""
+        baseline = sum(self.layer_mac_energy_pj(p) for p in baseline_profiles)
+        current = sum(self.layer_mac_energy_pj(p) for p in model_profiles)
+        if current <= 0:
+            raise ValueError("model MAC energy must be positive")
+        return baseline / current
+
+
+def energy_efficiency(
+    baseline_profiles: list[LayerProfile],
+    model_profiles: list[LayerProfile],
+    constants: EnergyConstants | None = None,
+) -> float:
+    """Total-energy ratio baseline/model — the "Energy Efficiency" column."""
+    model = AnalyticalEnergyModel(constants)
+    baseline = model.network_energy_pj(baseline_profiles)
+    current = model.network_energy_pj(model_profiles)
+    if current <= 0:
+        raise ValueError("model energy must be positive")
+    return baseline / current

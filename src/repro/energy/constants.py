@@ -1,0 +1,59 @@
+"""Energy constants of the paper's Table I (45 nm CMOS estimates)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Primitive-operation energies in picojoules.
+
+    Defaults reproduce Table I exactly:
+
+    =============================  ==============
+    Operation                      Energy (pJ)
+    =============================  ==============
+    k-bit memory access            2.5 * k
+    32-bit multiply                3.1
+    32-bit add                     0.1
+    k-bit multiply-and-accumulate  3.1*k/32 + 0.1
+    =============================  ==============
+    """
+
+    mem_access_per_bit_pj: float = 2.5
+    mult32_pj: float = 3.1
+    add32_pj: float = 0.1
+
+    def memory_access_pj(self, bits: int) -> float:
+        """E_Mem|k = 2.5 * k pJ."""
+        _validate_bits(bits)
+        return self.mem_access_per_bit_pj * bits
+
+    def mac_pj(self, bits: int) -> float:
+        """E_MAC|k = (3.1 * k) / 32 + 0.1 pJ.
+
+        The multiplier array cost scales linearly with operand width
+        relative to the 32-bit multiply; the accumulate add is charged
+        at the full 32-bit rate (partial sums are kept wide).
+        """
+        _validate_bits(bits)
+        return self.mult32_pj * bits / 32.0 + self.add32_pj
+
+
+DEFAULT_CONSTANTS = EnergyConstants()
+
+
+def _validate_bits(bits: int) -> None:
+    if not isinstance(bits, (int,)) or bits < 1:
+        raise ValueError(f"bit-width must be a positive integer, got {bits!r}")
+
+
+def memory_access_energy_pj(bits: int) -> float:
+    """Table I row 1 with default constants."""
+    return DEFAULT_CONSTANTS.memory_access_pj(bits)
+
+
+def mac_energy_pj(bits: int) -> float:
+    """Table I row 4 with default constants."""
+    return DEFAULT_CONSTANTS.mac_pj(bits)

@@ -1,0 +1,53 @@
+"""Operation-count formulas of paper §IV-A.
+
+For a p x p convolution with I input channels, O output channels,
+N x N input feature map and M x M output feature map:
+
+    N_Mem = N^2 * I + p^2 * I * O     (activations read + weights read)
+    N_MAC = M^2 * I * p^2 * O
+
+Fully connected layers are the p=1, N=M=1 degenerate case with I/O the
+feature counts.
+"""
+
+from __future__ import annotations
+
+
+def _check_positive(**kwargs: int) -> None:
+    for name, value in kwargs.items():
+        if value < 1:
+            raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+def conv_mem_accesses(input_size: int, in_channels: int, out_channels: int, kernel: int) -> int:
+    """N_Mem = N^2 * I + p^2 * I * O."""
+    _check_positive(
+        input_size=input_size,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel=kernel,
+    )
+    return input_size**2 * in_channels + kernel**2 * in_channels * out_channels
+
+
+def conv_mac_ops(output_size: int, in_channels: int, out_channels: int, kernel: int) -> int:
+    """N_MAC = M^2 * I * p^2 * O."""
+    _check_positive(
+        output_size=output_size,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel=kernel,
+    )
+    return output_size**2 * in_channels * kernel**2 * out_channels
+
+
+def fc_mem_accesses(in_features: int, out_features: int) -> int:
+    """Input activations plus the weight matrix."""
+    _check_positive(in_features=in_features, out_features=out_features)
+    return in_features + in_features * out_features
+
+
+def fc_mac_ops(in_features: int, out_features: int) -> int:
+    """One MAC per weight."""
+    _check_positive(in_features=in_features, out_features=out_features)
+    return in_features * out_features

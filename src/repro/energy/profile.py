@@ -1,0 +1,184 @@
+"""Network profiling: turn a model + quantization plan into layer profiles.
+
+A :class:`LayerProfile` is everything the energy models need to cost one
+layer: operator kind, *effective* channel counts (pruning masks reduce
+them), spatial geometry and bit-width.  Profiles are extracted from a
+model's layer registry; geometry comes from a one-off traced forward
+pass (:func:`trace_geometry`).
+
+Registry adjacency
+------------------
+For both VGG and ResNet the registry order is producer order, so the
+effective input-channel count of layer *i* is the active-channel count
+of layer *i-1*.  ResNet downsample convs (followers of a ``conv2``
+handle at registry index *i*) read the block input, i.e. the output of
+handle *i-2*, and write the destination layer's channels at the
+destination layer's bit-width (paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.models.blocks import ConvUnit
+from repro.quant import QuantizationPlan
+
+
+@dataclass
+class LayerProfile:
+    """Cost-model view of one layer instance.
+
+    ``input_bits`` is the precision of the *incoming* activations (the
+    producing layer's bit-width); on the bit-serial PIM platform it sets
+    the number of input cycles, so MAC cost depends on both operand
+    widths.  ``None`` means "same as ``bits``".
+    """
+
+    name: str
+    kind: str  # "conv" | "linear"
+    in_channels: int
+    out_channels: int
+    kernel: int
+    input_size: int
+    output_size: int
+    bits: int
+    input_bits: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("conv", "linear"):
+            raise ValueError(f"unknown layer kind {self.kind!r}")
+        for field_name in (
+            "in_channels",
+            "out_channels",
+            "kernel",
+            "input_size",
+            "output_size",
+            "bits",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1 in profile {self.name}")
+        if self.input_bits is not None and self.input_bits < 1:
+            raise ValueError(f"input_bits must be >= 1 in profile {self.name}")
+
+    @property
+    def effective_input_bits(self) -> int:
+        return self.bits if self.input_bits is None else self.input_bits
+
+
+def trace_geometry(model, input_shape: tuple[int, int, int]) -> None:
+    """Run one dummy forward pass so units record their spatial sizes.
+
+    ``input_shape`` is (channels, height, width); batch size 1 is used.
+    """
+    was_training = model.training
+    model.eval()
+    with no_grad():
+        model(Tensor(np.zeros((1,) + tuple(input_shape))))
+    model.train(was_training)
+
+
+def _unit_geometry(unit: ConvUnit) -> tuple[int, int]:
+    if unit.last_input_hw is None or unit.last_output_hw is None:
+        raise RuntimeError(
+            f"unit {unit.name!r} has no recorded geometry — call trace_geometry()"
+        )
+    return unit.last_input_hw[0], unit.last_output_hw[0]
+
+
+def profile_model(
+    model,
+    plan: QuantizationPlan | None = None,
+    default_bits: int = 16,
+    include_followers: bool = True,
+) -> list[LayerProfile]:
+    """Build layer profiles for ``model`` under ``plan``.
+
+    Parameters
+    ----------
+    plan:
+        Per-layer bit-widths; ``None`` costs every layer at
+        ``default_bits`` (the paper's 16-/32-bit baselines).
+    include_followers:
+        Whether ResNet downsample convs are costed (they are real
+        hardware work even though the paper's tables omit their rows).
+    """
+    registry = model.layer_handles()
+    profiles: list[LayerProfile] = []
+    handles = list(registry)
+
+    def bits_of(h) -> int:
+        return plan.by_name(h.name).bits if plan is not None else default_bits
+
+    for index, handle in enumerate(handles):
+        bits = bits_of(handle)
+        input_bits = bits_of(handles[index - 1]) if index > 0 else bits
+        if handle.is_conv:
+            unit = handle.unit
+            input_size, output_size = _unit_geometry(unit)
+            in_eff = (
+                handles[index - 1].active_channels()
+                if index > 0
+                else unit.conv.in_channels
+            )
+            if not getattr(unit, "enabled", True):
+                continue  # layer removed (Table II row 2a)
+            profiles.append(
+                LayerProfile(
+                    name=handle.name,
+                    kind="conv",
+                    in_channels=in_eff,
+                    out_channels=handle.active_channels(),
+                    kernel=unit.conv.kernel_size,
+                    input_size=input_size,
+                    output_size=output_size,
+                    bits=bits,
+                    input_bits=input_bits,
+                )
+            )
+            if include_followers:
+                for follower in handle.follower_units:
+                    f_in, f_out = _unit_geometry(follower)
+                    producer = handles[index - 2] if index >= 2 else None
+                    f_in_channels = (
+                        producer.active_channels()
+                        if producer is not None
+                        else follower.conv.in_channels
+                    )
+                    profiles.append(
+                        LayerProfile(
+                            name=follower.name,
+                            kind="conv",
+                            in_channels=f_in_channels,
+                            out_channels=handle.active_channels(),
+                            kernel=follower.conv.kernel_size,
+                            input_size=f_in,
+                            output_size=f_out,
+                            bits=bits,
+                            input_bits=(
+                                bits_of(producer) if producer is not None else bits
+                            ),
+                        )
+                    )
+        else:
+            in_eff = (
+                handles[index - 1].active_channels()
+                if index > 0
+                else handle.unit.fc.in_features
+            )
+            profiles.append(
+                LayerProfile(
+                    name=handle.name,
+                    kind="linear",
+                    in_channels=in_eff,
+                    out_channels=handle.unit.fc.out_features,
+                    kernel=1,
+                    input_size=1,
+                    output_size=1,
+                    bits=bits,
+                    input_bits=input_bits,
+                )
+            )
+    return profiles

@@ -1,0 +1,141 @@
+"""VGG architectures (the paper evaluates VGG19 on CIFAR-10).
+
+CIFAR-style VGG: 3x3 convs with batch norm, max-pool at the 'M' markers,
+global average pooling, and a single fully connected classifier — giving
+the 16-conv + 1-FC = 17-layer bit-width vectors of Table II(a).
+
+``width_multiplier`` scales channel counts so that the full topology can
+be trained on CPU in the reproduction benchmarks; the layer structure
+(and hence the shape of the per-layer AD/bit-width profile) is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.conv import global_avg_pool2d
+from repro.models.blocks import ConvUnit, LinearUnit, MeasurementContext
+from repro.models.registry import LayerHandle, LayerRegistry
+from repro.nn import MaxPool2d, Module, ModuleList
+
+VGG_CONFIGS: dict[str, list] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    return max(1, int(round(channels * width_multiplier)))
+
+
+class VGG(Module):
+    """Configurable VGG with instrumentation for AD quantization.
+
+    Parameters
+    ----------
+    config:
+        Channel/pool sequence (see :data:`VGG_CONFIGS`).
+    num_classes:
+        Classifier width.
+    width_multiplier:
+        Scales every conv width (1.0 = paper-size model).
+    image_size:
+        Input spatial size; pool markers that would shrink the feature
+        map below 1 pixel are skipped, making small-resolution synthetic
+        runs possible without changing layer counts.
+    batch_norm:
+        Insert BatchNorm after each conv.  BN pins post-ReLU activation
+        density near 0.5; the paper's AD trajectories (densities drifting
+        far from 0.5 and rising toward 1.0 under quantization) correspond
+        to the BN-free classic VGG, so the figure benches disable it.
+    """
+
+    def __init__(
+        self,
+        config: list,
+        num_classes: int = 10,
+        width_multiplier: float = 1.0,
+        in_channels: int = 3,
+        image_size: int = 32,
+        batch_norm: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.ctx = MeasurementContext()
+        self.num_classes = num_classes
+
+        units: list[Module] = []
+        handles: list[LayerHandle] = []
+        channels = in_channels
+        spatial = image_size
+        conv_index = 0
+        num_convs = sum(1 for item in config if item != "M")
+        for item in config:
+            if item == "M":
+                if spatial >= 2:
+                    units.append(MaxPool2d(2))
+                    spatial //= 2
+                continue
+            conv_index += 1
+            width = _scaled(item, width_multiplier)
+            name = f"conv{conv_index}"
+            unit = ConvUnit(
+                name, channels, width, kernel_size=3, ctx=self.ctx,
+                padding=1, batch_norm=batch_norm, rng=rng,
+            )
+            units.append(unit)
+            role = "first" if conv_index == 1 else "hidden"
+            handles.append(
+                LayerHandle(name, unit, role=role, prunable=(role == "hidden"))
+            )
+            channels = width
+        if conv_index != num_convs:
+            raise AssertionError("config parsing lost a conv layer")
+
+        self.features = ModuleList(units)
+        self.classifier = LinearUnit("fc", channels, num_classes, ctx=self.ctx, rng=rng)
+        handles.append(LayerHandle("fc", self.classifier, role="last", prunable=False))
+        self._registry = LayerRegistry(handles)
+
+    def layer_handles(self) -> LayerRegistry:
+        return self._registry
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.features:
+            x = module(x)
+        x = global_avg_pool2d(x)
+        x = x.flatten_from(1)
+        return self.classifier(x)
+
+    def conv_layer_names(self) -> list[str]:
+        return [h.name for h in self._registry if h.is_conv]
+
+
+def vgg11(num_classes: int = 10, width_multiplier: float = 1.0,
+          image_size: int = 32, batch_norm: bool = True,
+          rng: np.random.Generator | None = None) -> VGG:
+    """VGG11 (8 convs + FC)."""
+    return VGG(VGG_CONFIGS["vgg11"], num_classes, width_multiplier,
+               image_size=image_size, batch_norm=batch_norm, rng=rng)
+
+
+def vgg16(num_classes: int = 10, width_multiplier: float = 1.0,
+          image_size: int = 32, batch_norm: bool = True,
+          rng: np.random.Generator | None = None) -> VGG:
+    """VGG16 (13 convs + FC)."""
+    return VGG(VGG_CONFIGS["vgg16"], num_classes, width_multiplier,
+               image_size=image_size, batch_norm=batch_norm, rng=rng)
+
+
+def vgg19(num_classes: int = 10, width_multiplier: float = 1.0,
+          image_size: int = 32, batch_norm: bool = True,
+          rng: np.random.Generator | None = None) -> VGG:
+    """VGG19 (16 convs + FC) — the Table II(a)/III(a) architecture."""
+    return VGG(VGG_CONFIGS["vgg19"], num_classes, width_multiplier,
+               image_size=image_size, batch_norm=batch_norm, rng=rng)

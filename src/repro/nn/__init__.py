@@ -1,0 +1,48 @@
+"""Neural-network library built on :mod:`repro.autograd`.
+
+Provides the module system (parameter registration, train/eval modes,
+state dicts), the layers required by VGG19/ResNet18, weight
+initialization schemes, losses, and optimizers (SGD with momentum, Adam —
+the paper trains with Adam under standard settings).
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineAnnealingLR",
+    "init",
+]

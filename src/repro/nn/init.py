@@ -1,0 +1,59 @@
+"""Weight initialization schemes (Kaiming/He, Xavier/Glorot, constants).
+
+All initializers take an explicit ``rng`` so experiments are reproducible
+end to end; the paper initializes models "with random weights" and we fix
+seeds per experiment config.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fan_in_fan_out(shape: tuple) -> tuple[int, int]:
+    """Compute fan-in/fan-out for linear (O, I) and conv (O, I, k, k) shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: tuple, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-normal initialization suited to ReLU networks."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-uniform initialization."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-normal initialization."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    return np.ones(shape)

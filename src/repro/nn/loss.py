@@ -1,0 +1,31 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over integer class targets (fused log-softmax)."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"
+
+
+class MSELoss(Module):
+    """Mean squared error between a tensor and an array-like target."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target
+        return (diff * diff).mean()
+
+    def __repr__(self) -> str:
+        return "MSELoss()"

@@ -1,0 +1,61 @@
+"""Precision-scalable Processing-In-Memory accelerator (paper §V).
+
+The platform of Fig. 5: an input decoder streams activation bits into a
+2-D array of 1-bit SRAM memory-and-multiply cells; a hierarchical
+shift-accumulator block (4-bit ACC4 -> 8-bit ACC8 -> 16-bit ACC16)
+combines column partial sums.  Only 2-/4-/8-/16-bit layer precisions are
+supported; arbitrary algorithmic bit-widths are snapped up
+(:func:`repro.quant.qconfig.snap_to_hardware_precision`).
+
+Two layers of modelling:
+
+* **Functional** — :class:`~repro.pim.accelerator.PIMAccelerator`
+  executes bit-sliced, bit-serial integer matrix-vector products that
+  are verified against exact integer matmul, and counts component
+  activity (cell multiplies, per-level accumulator operations).
+* **Energy** — :class:`~repro.pim.energy_model.PIMEnergyModel` charges
+  the per-MAC energies of Table IV (fJ, 45 nm CMOS):
+  2-bit 2.942, 4-bit 16.968, 8-bit 66.714, 16-bit 276.676.
+  In a PIM architecture memory-access energy is largely absorbed into
+  the array and peripheral energy is neglected (paper §V-B), so network
+  energy is MAC energy.
+"""
+
+from repro.pim.cells import PIMArray
+from repro.pim.accumulator import AccumulatorStats, ShiftAccumulatorTree
+from repro.pim.decoder import InputDecoder
+from repro.pim.accelerator import ActivityReport, PIMAccelerator
+from repro.pim.mapper import LayerMapping, map_layer
+from repro.pim.energy_model import (
+    TABLE_IV_MAC_ENERGY_FJ,
+    PIMEnergyModel,
+    PIMNetworkEnergy,
+    analytical_overestimate_ratio,
+)
+from repro.pim.layer_exec import (
+    LayerExecutionResult,
+    execute_conv_layer,
+    execute_linear_layer,
+)
+from repro.pim.xnor import XNORAccelerator, binarize, xnor_gemm
+
+__all__ = [
+    "PIMArray",
+    "ShiftAccumulatorTree",
+    "AccumulatorStats",
+    "InputDecoder",
+    "PIMAccelerator",
+    "ActivityReport",
+    "LayerMapping",
+    "map_layer",
+    "PIMEnergyModel",
+    "PIMNetworkEnergy",
+    "TABLE_IV_MAC_ENERGY_FJ",
+    "analytical_overestimate_ratio",
+    "execute_conv_layer",
+    "execute_linear_layer",
+    "LayerExecutionResult",
+    "XNORAccelerator",
+    "binarize",
+    "xnor_gemm",
+]

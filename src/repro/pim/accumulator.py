@@ -1,0 +1,103 @@
+"""Hierarchical shift-accumulator block (paper Fig. 5).
+
+Column partial sums are combined in three levels:
+
+* **ACC4** — the lowest level; every group of 4 adjacent PIM columns is
+  read together and its bit-weighted sum forms a 4-bit-operand result.
+  For 2-bit layers this is the final result (the paper's blue path).
+* **ACC8** — shift-adds pairs of ACC4 results for 4-bit operands (red
+  path).
+* **ACC16** — shift-adds ACC8 results for 8-/16-bit operands.
+
+The tree also applies the *activation* bit-position shift of the
+bit-serial schedule, so the accelerator's outer loop just sums tree
+outputs over activation bit cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# Accumulator level activated as the final stage per operand precision.
+_FINAL_LEVEL = {2: "acc4", 4: "acc8", 8: "acc16", 16: "acc16"}
+
+
+@dataclass
+class AccumulatorStats:
+    """Operation counters per accumulator level."""
+
+    acc4_ops: int = 0
+    acc8_ops: int = 0
+    acc16_ops: int = 0
+
+    def merged(self, other: "AccumulatorStats") -> "AccumulatorStats":
+        return AccumulatorStats(
+            self.acc4_ops + other.acc4_ops,
+            self.acc8_ops + other.acc8_ops,
+            self.acc16_ops + other.acc16_ops,
+        )
+
+
+@dataclass
+class ShiftAccumulatorTree:
+    """Combines bit-sliced column popcounts into integer dot products.
+
+    Parameters
+    ----------
+    weight_bits:
+        Operand precision of the currently-mapped layer; must be one of
+        the hardware precisions {2, 4, 8, 16}.
+    """
+
+    weight_bits: int
+    stats: AccumulatorStats = field(default_factory=AccumulatorStats)
+
+    def __post_init__(self):
+        if self.weight_bits not in _FINAL_LEVEL:
+            raise ValueError(
+                f"PIM supports 2/4/8/16-bit operands, got {self.weight_bits}"
+            )
+
+    @property
+    def final_level(self) -> str:
+        """Which accumulator level produces the forwarded result."""
+        return _FINAL_LEVEL[self.weight_bits]
+
+    def combine(
+        self, column_sums: np.ndarray, activation_bit_position: int = 0
+    ) -> np.ndarray:
+        """Reduce per-column popcounts to per-weight partial results.
+
+        ``column_sums`` has one entry per PIM column; each group of
+        ``weight_bits`` columns belongs to one weight, MSB first.  The
+        result is shifted by ``activation_bit_position`` (the bit-serial
+        input schedule's current cycle).
+        """
+        column_sums = np.asarray(column_sums, dtype=np.int64)
+        if column_sums.ndim != 1:
+            raise ValueError("column sums must be a vector")
+        if column_sums.size % self.weight_bits != 0:
+            raise ValueError(
+                f"{column_sums.size} columns do not tile into "
+                f"{self.weight_bits}-bit weights"
+            )
+        num_weights = column_sums.size // self.weight_bits
+        grouped = column_sums.reshape(num_weights, self.weight_bits)
+        # Bit significance of each column within its weight, MSB first.
+        shifts = np.arange(self.weight_bits - 1, -1, -1)
+        result = (grouped << shifts[None, :]).sum(axis=1)
+        # Activity accounting: each group of <=4 columns costs one ACC4
+        # op; combining pairs of ACC4 results costs ACC8 ops; ACC16 ops
+        # combine ACC8 outputs and absorb the >=8-bit final adds.
+        groups_of_4 = num_weights * int(np.ceil(self.weight_bits / 4))
+        self.stats.acc4_ops += groups_of_4
+        if self.weight_bits >= 4:
+            self.stats.acc8_ops += num_weights * max(1, self.weight_bits // 8)
+        if self.weight_bits >= 8:
+            self.stats.acc16_ops += num_weights * max(1, self.weight_bits // 16)
+        return result << activation_bit_position
+
+    def reset_stats(self) -> None:
+        self.stats = AccumulatorStats()

@@ -1,0 +1,99 @@
+"""PIM array of 1-bit SRAM memory-and-multiply cells.
+
+Each cell stores one weight bit and, when its row is driven with an
+activation bit, contributes ``weight_bit AND activation_bit`` to its
+column's partial sum (the in-memory analog accumulation, modelled
+digitally as a column popcount).  Weights are *bit-sliced*: a k-bit
+weight occupies k adjacent columns, most significant bit first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PIMArray:
+    """A rows x cols crossbar of 1-bit multiply cells.
+
+    Parameters
+    ----------
+    rows:
+        Number of word lines (one per input-vector element).
+    cols:
+        Number of bit lines (weight bit-planes).
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self._bits = np.zeros((rows, cols), dtype=np.uint8)
+        self.cell_ops = 0  # 1-bit multiply events since reset_stats()
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def program_bits(self, bits: np.ndarray) -> None:
+        """Write a full bit matrix (values 0/1) into the array."""
+        bits = np.asarray(bits)
+        if bits.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"bit matrix shape {bits.shape} != array ({self.rows}, {self.cols})"
+            )
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("cells store single bits (0/1)")
+        self._bits = bits.astype(np.uint8)
+
+    def program_weights(self, codes: np.ndarray, bits: int) -> None:
+        """Bit-slice unsigned integer weight codes into columns.
+
+        ``codes`` has shape (rows, num_weights); weight *j* occupies
+        columns ``j*bits .. (j+1)*bits - 1``, MSB first.  Requires
+        ``num_weights * bits <= cols``.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2 or codes.shape[0] != self.rows:
+            raise ValueError("codes must be (rows, num_weights)")
+        if (codes < 0).any() or (codes >= (1 << bits)).any():
+            raise ValueError(f"codes out of range for {bits}-bit storage")
+        num_weights = codes.shape[1]
+        if num_weights * bits > self.cols:
+            raise ValueError(
+                f"{num_weights} weights x {bits} bits exceed {self.cols} columns"
+            )
+        # Column j*bits + b holds bit (bits-1-b) of weight j (MSB first).
+        planes = np.zeros((self.rows, self.cols), dtype=np.uint8)
+        shifts = np.arange(bits - 1, -1, -1)  # per-column bit position
+        sliced = (codes[:, :, None] >> shifts[None, None, :]) & 1
+        planes[:, : num_weights * bits] = sliced.reshape(self.rows, -1)
+        self._bits = planes
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def read_bits(self) -> np.ndarray:
+        """Current cell contents (copy)."""
+        return self._bits.copy()
+
+    def column_popcounts(self, row_drive: np.ndarray) -> np.ndarray:
+        """Drive rows with an activation bit vector; return column sums.
+
+        ``row_drive`` is a 0/1 vector of length ``rows``; the result is
+        per-column ``sum_r drive[r] * cell[r, c]`` — one array read of
+        all columns together.
+        """
+        row_drive = np.asarray(row_drive)
+        if row_drive.shape != (self.rows,):
+            raise ValueError(f"row drive must have shape ({self.rows},)")
+        if not np.isin(row_drive, (0, 1)).all():
+            raise ValueError("row drive must be binary")
+        active = int(row_drive.sum())
+        self.cell_ops += active * self.cols
+        return row_drive.astype(np.int64) @ self._bits.astype(np.int64)
+
+    def reset_stats(self) -> None:
+        self.cell_ops = 0
+
+    def __repr__(self) -> str:
+        return f"PIMArray({self.rows}x{self.cols}, cell_ops={self.cell_ops})"

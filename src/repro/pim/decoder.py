@@ -1,0 +1,63 @@
+"""Input decoder: structured activation fetch and bit-serial scheduling.
+
+The decoder of Fig. 5 "fetches the activation values from layer l-1 and
+feeds them to the PIM block of layer l ... in a structured pattern".
+Functionally that is: take the layer's unsigned activation codes,
+decompose them into bit-planes, and emit one row-drive vector per
+activation bit cycle (LSB to MSB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class InputDecoder:
+    """Turns activation codes into per-cycle binary row drives.
+
+    Parameters
+    ----------
+    activation_bits:
+        Precision of the incoming activation codes; one of {2, 4, 8, 16}
+        on this platform (callers snap beforehand).
+    """
+
+    def __init__(self, activation_bits: int):
+        if activation_bits < 1:
+            raise ValueError("activation_bits must be >= 1")
+        self.activation_bits = activation_bits
+        self.fetches = 0  # activation words fetched since reset_stats()
+
+    def bit_plane(self, codes: np.ndarray, bit_position: int) -> np.ndarray:
+        """Binary vector of ``codes``' bit at ``bit_position`` (0 = LSB)."""
+        codes = self._validate(codes)
+        if not 0 <= bit_position < self.activation_bits:
+            raise ValueError(
+                f"bit position {bit_position} outside 0..{self.activation_bits - 1}"
+            )
+        return ((codes >> bit_position) & 1).astype(np.uint8)
+
+    def schedule(self, codes: np.ndarray):
+        """Yield (bit_position, row_drive) pairs, LSB first.
+
+        One full schedule is one structured fetch of the activation
+        vector; the fetch counter increments once per word.
+        """
+        codes = self._validate(codes)
+        self.fetches += codes.size
+        for bit_position in range(self.activation_bits):
+            yield bit_position, ((codes >> bit_position) & 1).astype(np.uint8)
+
+    def _validate(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        if (codes < 0).any() or (codes >= (1 << self.activation_bits)).any():
+            raise ValueError(
+                f"activation codes out of range for {self.activation_bits} bits"
+            )
+        return codes
+
+    def reset_stats(self) -> None:
+        self.fetches = 0
+
+    def __repr__(self) -> str:
+        return f"InputDecoder({self.activation_bits}b, fetches={self.fetches})"

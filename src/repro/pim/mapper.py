@@ -1,0 +1,77 @@
+"""Mapping network layers onto fixed-size PIM arrays.
+
+A conv layer is lowered to matrix form (im2col): the weight matrix has
+K = I * p^2 rows (patch dimension) and O columns (output channels); a
+fully connected layer is already K x O.  The weight matrix is bit-sliced
+(k columns per weight) and tiled over arrays of ``rows x cols`` cells;
+every output position of the feature map is one matrix-vector product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.profile import LayerProfile
+from repro.quant import snap_to_hardware_precision
+
+
+@dataclass
+class LayerMapping:
+    """Placement of one layer on the PIM platform."""
+
+    name: str
+    hardware_bits: int
+    patch_dim: int           # K: rows of the lowered weight matrix
+    output_channels: int     # O: columns of the lowered weight matrix
+    positions: int           # matrix-vector products per inference
+    row_tiles: int
+    col_tiles: int
+    weights_per_col_tile: int
+
+    @property
+    def total_tiles(self) -> int:
+        return self.row_tiles * self.col_tiles
+
+    @property
+    def array_reads(self) -> int:
+        """Row-parallel array reads per inference.
+
+        Each matrix-vector product reads every tile once per activation
+        bit cycle (bit-serial input scheduling).
+        """
+        return self.positions * self.total_tiles * self.hardware_bits
+
+    @property
+    def macs(self) -> int:
+        """k-bit MAC operations per inference (= N_MAC of §IV-A)."""
+        return self.positions * self.patch_dim * self.output_channels
+
+
+def map_layer(profile: LayerProfile, rows: int, cols: int) -> LayerMapping:
+    """Tile ``profile`` onto ``rows x cols`` PIM arrays."""
+    if rows < 1 or cols < 1:
+        raise ValueError("array dimensions must be positive")
+    bits = snap_to_hardware_precision(profile.bits)
+    if cols < bits:
+        raise ValueError(
+            f"array has {cols} columns; cannot hold a {bits}-bit weight"
+        )
+    if profile.kind == "conv":
+        patch_dim = profile.in_channels * profile.kernel**2
+        positions = profile.output_size**2
+    else:
+        patch_dim = profile.in_channels
+        positions = 1
+    weights_per_col_tile = cols // bits
+    col_tiles = -(-profile.out_channels // weights_per_col_tile)  # ceil
+    row_tiles = -(-patch_dim // rows)
+    return LayerMapping(
+        name=profile.name,
+        hardware_bits=bits,
+        patch_dim=patch_dim,
+        output_channels=profile.out_channels,
+        positions=positions,
+        row_tiles=row_tiles,
+        col_tiles=col_tiles,
+        weights_per_col_tile=weights_per_col_tile,
+    )

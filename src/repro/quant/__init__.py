@@ -1,0 +1,28 @@
+"""Quantization machinery.
+
+Implements the paper's eqn. (1) uniform min-max quantizer, fake
+quantization with a straight-through estimator for in-training use, and
+per-layer quantization configuration including the PIM platform's
+hardware precision snapping to {2, 4, 8, 16} bits.
+"""
+
+from repro.quant.fakequant import FakeQuantize, STEQuantFunction
+from repro.quant.quantizer import UniformQuantizer, dequantize, quantize
+from repro.quant.qconfig import (
+    HARDWARE_PRECISIONS,
+    LayerQuantSpec,
+    QuantizationPlan,
+    snap_to_hardware_precision,
+)
+
+__all__ = [
+    "quantize",
+    "dequantize",
+    "UniformQuantizer",
+    "FakeQuantize",
+    "STEQuantFunction",
+    "LayerQuantSpec",
+    "QuantizationPlan",
+    "HARDWARE_PRECISIONS",
+    "snap_to_hardware_precision",
+]

@@ -1,0 +1,13 @@
+"""Shared utilities: seeding, checkpoints, table rendering, configs."""
+
+from repro.utils.seeding import seed_everything, spawn_rngs
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+from repro.utils.tables import format_table
+
+__all__ = [
+    "seed_everything",
+    "spawn_rngs",
+    "save_checkpoint",
+    "load_checkpoint",
+    "format_table",
+]

@@ -1,0 +1,25 @@
+"""Reproducible random-state management."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python and numpy global state; return a fresh Generator.
+
+    The returned generator should be threaded through model/dataset
+    construction; global seeding is a safety net for any stray legacy
+    ``np.random`` usage.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed."""
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,33 @@
+"""Checkpointing model state dicts to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def save_checkpoint(path, state_dict: dict, metadata: dict | None = None) -> None:
+    """Save a model state dict (and JSON-serializable metadata) to .npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state_dict)
+    if metadata is not None:
+        payload["__metadata__"] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path) -> tuple[dict, dict | None]:
+    """Load a checkpoint; returns (state_dict, metadata-or-None)."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        state = {}
+        metadata = None
+        for key in archive.files:
+            if key == "__metadata__":
+                metadata = json.loads(archive[key].tobytes().decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, metadata

@@ -1,0 +1,358 @@
+"""Unit tests for the autograd Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad
+from repro.autograd.tensor import unbroadcast
+
+
+class TestConstruction:
+    def test_data_converted_to_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_zeros_ones(self):
+        assert np.all(Tensor.zeros((2, 3)).data == 0)
+        assert np.all(Tensor.ones((2, 3)).data == 1)
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_shares_data_drops_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert np.allclose(b.data, [2.0, 4.0])
+
+
+class TestArithmetic:
+    def test_add_values_and_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = a + b
+        out.backward(np.array([1.0, 1.0]))
+        assert np.allclose(out.data, [4.0, 6.0])
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_radd_with_scalar(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = 2.0 + a
+        out.backward(np.array([1.0]))
+        assert np.allclose(out.data, [3.0])
+        assert np.allclose(a.grad, [1.0])
+
+    def test_mul_grads(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([5.0], requires_grad=True)
+        (a * b).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [5.0])
+        assert np.allclose(b.grad, [2.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        (a - b).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [1.0])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_rsub(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = 5.0 - a
+        out.backward(np.array([1.0]))
+        assert np.allclose(out.data, [4.0])
+        assert np.allclose(a.grad, [-1.0])
+
+    def test_div_grads(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.5])
+
+    def test_rtruediv(self):
+        a = Tensor([4.0], requires_grad=True)
+        out = 8.0 / a
+        out.backward(np.array([1.0]))
+        assert np.allclose(out.data, [2.0])
+        assert np.allclose(a.grad, [-0.5])
+
+    def test_pow_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0], [4.0]]), requires_grad=True)
+        out = a @ b
+        out.backward(np.array([[1.0]]))
+        assert np.allclose(out.data, [[11.0]])
+        assert np.allclose(a.grad, [[3.0, 4.0]])
+        assert np.allclose(b.grad, [[1.0], [2.0]])
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(4, 2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (4, 2, 5)
+        out.sum().backward()
+        assert a.grad.shape == (4, 2, 3)
+        assert b.grad.shape == (4, 3, 5)
+
+
+class TestBroadcasting:
+    def test_add_broadcast_bias(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_mul_broadcast_scalar_tensor(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(3.0, requires_grad=True)
+        (x * s).sum().backward()
+        assert np.allclose(s.grad, 4.0)
+
+    def test_unbroadcast_prepended_axes(self):
+        grad = np.ones((5, 3))
+        assert unbroadcast(grad, (3,)).shape == (3,)
+        assert np.allclose(unbroadcast(grad, (3,)), 5.0)
+
+    def test_unbroadcast_singleton_axes(self):
+        grad = np.ones((4, 3))
+        out = unbroadcast(grad, (4, 1))
+        assert out.shape == (4, 1)
+        assert np.allclose(out, 3.0)
+
+    def test_unbroadcast_noop(self):
+        grad = np.ones((2, 2))
+        assert unbroadcast(grad, (2, 2)) is grad
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_scalar_without_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_shape_mismatch_raises(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward(np.ones(3))
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward(np.array([1.0]))
+        (a * 2).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [4.0])
+
+    def test_diamond_graph_accumulation(self):
+        # f = a*a + a*a should give grad 4a.
+        a = Tensor([3.0], requires_grad=True)
+        b = a * a
+        c = a * a
+        (b + c).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [12.0])
+
+    def test_reused_node_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3
+        (b + b).backward(np.array([1.0]))
+        assert np.allclose(a.grad, [6.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward(np.array([1.0]))
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.backward(np.array([1.0]))
+        assert np.allclose(a.grad, [1.0])
+
+    def test_intermediate_grads_freed(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2
+        c = b * 3
+        c.backward(np.array([1.0]))
+        assert b.grad is None  # non-leaf grad released
+        assert np.allclose(a.grad, [6.0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nesting(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+
+class TestElementwise:
+    def test_relu_values_and_mask_grad(self):
+        a = Tensor([-1.0, 0.0, 2.0], requires_grad=True)
+        out = a.relu()
+        out.backward(np.ones(3))
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+        assert np.allclose(a.grad, [0.0, 0.0, 1.0])
+
+    def test_exp_log_roundtrip(self):
+        a = Tensor([0.5, 1.5])
+        assert np.allclose(a.exp().log().data, a.data)
+
+    def test_sqrt(self):
+        a = Tensor([4.0], requires_grad=True)
+        out = a.sqrt()
+        out.backward(np.array([1.0]))
+        assert np.allclose(out.data, [2.0])
+        assert np.allclose(a.grad, [0.25])
+
+    def test_abs_grad_sign(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        a.abs().backward(np.ones(2))
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+    def test_tanh_sigmoid_ranges(self):
+        a = Tensor(np.linspace(-5, 5, 11))
+        assert np.all(np.abs(a.tanh().data) <= 1.0)
+        sig = a.sigmoid().data
+        assert np.all((sig > 0) & (sig < 1))
+
+    def test_clip_gradient_mask(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).backward(np.ones(3))
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.backward(np.ones((2, 1)))
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_grad_scaling(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis_tuple(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = a.mean(axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.full((2, 3, 4), 1.0 / 8.0))
+
+    def test_var_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(5, 7))
+        assert np.allclose(Tensor(x).var().data, x.var())
+
+    def test_max_grad_goes_to_argmax(self):
+        a = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([2.0, 2.0], requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5])
+
+    def test_max_axis(self):
+        a = Tensor(np.array([[1.0, 4.0], [3.0, 2.0]]), requires_grad=True)
+        out = a.max(axis=1)
+        assert np.allclose(out.data, [4.0, 3.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_reshape_accepts_tuple(self):
+        a = Tensor(np.arange(6.0))
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default_reverses(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.transpose().shape == (4, 3, 2)
+
+    def test_transpose_axes_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.transpose(1, 0).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_flatten_from(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.flatten_from(1).shape == (2, 12)
+
+    def test_pad2d_and_grad(self):
+        a = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        out = a.pad2d(1)
+        assert out.shape == (1, 1, 4, 4)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((1, 1, 2, 2)))
+
+    def test_pad2d_zero_is_identity(self):
+        a = Tensor(np.ones((1, 1, 2, 2)))
+        assert a.pad2d(0) is a
+
+    def test_getitem_grad_scatter(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        a[1:3].sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_concatenate_values_and_grads(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((3, 2)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (3, 2)

@@ -1,0 +1,200 @@
+"""Datasets, loaders, synthetic generators and transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    SyntheticCIFAR10,
+    SyntheticCIFAR100,
+    SyntheticTinyImageNet,
+    make_classification_images,
+)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self, rng):
+        data = ArrayDataset(rng.normal(size=(5, 3, 4, 4)), np.arange(5))
+        assert len(data) == 5
+        image, label = data[2]
+        assert image.shape == (3, 4, 4)
+        assert label == 2
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 3, 4)), np.arange(5))
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 3, 4, 4)), np.arange(4))
+
+    def test_transform_applied(self, rng):
+        data = ArrayDataset(
+            np.ones((3, 1, 2, 2)), np.zeros(3, dtype=int), transform=lambda x: x * 2
+        )
+        image, _ = data[0]
+        assert np.allclose(image, 2.0)
+
+    def test_num_classes(self):
+        data = ArrayDataset(np.zeros((4, 1, 2, 2)), np.array([0, 1, 2, 2]))
+        assert data.num_classes == 3
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, batch_size=5)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == len(tiny_dataset)
+
+    def test_len_with_and_without_drop_last(self, tiny_dataset):
+        assert len(DataLoader(tiny_dataset, batch_size=5)) == 4
+        assert len(DataLoader(tiny_dataset, batch_size=5, drop_last=True)) == 3
+
+    def test_drop_last_only_full_batches(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, batch_size=5, drop_last=True)
+        assert all(len(labels) == 5 for _, labels in loader)
+
+    def test_shuffle_deterministic_with_seed(self, tiny_dataset):
+        first = [
+            labels.tolist()
+            for _, labels in DataLoader(
+                tiny_dataset, 4, shuffle=True, rng=np.random.default_rng(3)
+            )
+        ]
+        second = [
+            labels.tolist()
+            for _, labels in DataLoader(
+                tiny_dataset, 4, shuffle=True, rng=np.random.default_rng(3)
+            )
+        ]
+        assert first == second
+
+    def test_shuffle_changes_order(self, tiny_dataset):
+        unshuffled = next(iter(DataLoader(tiny_dataset, 16)))[1]
+        shuffled = next(
+            iter(DataLoader(tiny_dataset, 16, shuffle=True, rng=np.random.default_rng(0)))
+        )[1]
+        assert not np.array_equal(unshuffled, shuffled)
+        assert sorted(unshuffled) == sorted(shuffled)
+
+    def test_batch_stacking_shape(self, tiny_dataset):
+        images, labels = next(iter(DataLoader(tiny_dataset, 8)))
+        assert images.shape == (8, 3, 8, 8)
+        assert labels.shape == (8,)
+
+    def test_invalid_batch_size(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            DataLoader(tiny_dataset, 0)
+
+
+class TestSyntheticGenerator:
+    def test_shapes_and_interleaving(self):
+        images, labels = make_classification_images(4, 5, image_size=8, seed=0)
+        assert images.shape == (20, 3, 8, 8)
+        assert sorted(np.bincount(labels)) == [5, 5, 5, 5]
+
+    def test_deterministic(self):
+        a_images, a_labels = make_classification_images(3, 4, image_size=8, seed=9)
+        b_images, b_labels = make_classification_images(3, 4, image_size=8, seed=9)
+        assert np.array_equal(a_images, b_images)
+        assert np.array_equal(a_labels, b_labels)
+
+    def test_different_seeds_differ(self):
+        a, _ = make_classification_images(3, 4, image_size=8, seed=1)
+        b, _ = make_classification_images(3, 4, image_size=8, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_class_structure_learnable(self):
+        """Same-class samples correlate more than cross-class ones."""
+        images, labels = make_classification_images(
+            2, 30, image_size=16, noise=0.3, seed=5
+        )
+        flat = images.reshape(len(images), -1)
+        flat = flat - flat.mean(axis=1, keepdims=True)
+        flat /= np.linalg.norm(flat, axis=1, keepdims=True)
+        sims = flat @ flat.T
+        same = sims[labels[:, None] == labels[None, :]].mean()
+        cross = sims[labels[:, None] != labels[None, :]].mean()
+        assert same > cross + 0.1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            make_classification_images(1, 5)
+        with pytest.raises(ValueError):
+            make_classification_images(3, 0)
+
+
+class TestNamedDatasets:
+    def test_cifar10_shapes(self):
+        train, test = SyntheticCIFAR10(train_per_class=3, test_per_class=2, image_size=16)
+        assert len(train) == 30
+        assert len(test) == 20
+        assert train[0][0].shape == (3, 16, 16)
+        assert train.num_classes == 10
+
+    def test_cifar100_class_count(self):
+        train, test = SyntheticCIFAR100(train_per_class=2, test_per_class=1, image_size=8)
+        assert train.num_classes == 100
+        assert len(train) == 200
+
+    def test_tinyimagenet_default_resolution(self):
+        train, _ = SyntheticTinyImageNet(train_per_class=1, test_per_class=1)
+        assert train[0][0].shape == (3, 64, 64)
+        assert train.num_classes == 200
+
+    def test_split_balanced(self):
+        train, test = SyntheticCIFAR10(train_per_class=4, test_per_class=2, image_size=8)
+        assert sorted(np.bincount(train.labels)) == [4] * 10
+        assert sorted(np.bincount(test.labels)) == [2] * 10
+
+    def test_train_test_disjoint(self):
+        train, test = SyntheticCIFAR10(train_per_class=3, test_per_class=3, image_size=8)
+        train_set = {train.images[i].tobytes() for i in range(len(train))}
+        test_set = {test.images[i].tobytes() for i in range(len(test))}
+        assert not train_set & test_set
+
+
+class TestTransforms:
+    def test_normalize(self):
+        t = Normalize(mean=[1.0], std=[2.0])
+        out = t(np.full((1, 2, 2), 3.0))
+        assert np.allclose(out, 1.0)
+
+    def test_normalize_invalid_std(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+    def test_flip_probability_one(self):
+        t = RandomHorizontalFlip(p=1.0, rng=np.random.default_rng(0))
+        image = np.arange(4.0).reshape(1, 2, 2)
+        assert np.allclose(t(image), image[:, :, ::-1])
+
+    def test_flip_probability_zero(self):
+        t = RandomHorizontalFlip(p=0.0, rng=np.random.default_rng(0))
+        image = np.arange(4.0).reshape(1, 2, 2)
+        assert np.allclose(t(image), image)
+
+    def test_flip_invalid_p(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(p=2.0)
+
+    def test_crop_preserves_shape(self, rng):
+        t = RandomCrop(padding=2, rng=rng)
+        image = rng.normal(size=(3, 8, 8))
+        assert t(image).shape == (3, 8, 8)
+
+    def test_crop_zero_padding_identity(self, rng):
+        t = RandomCrop(padding=0)
+        image = rng.normal(size=(3, 8, 8))
+        assert np.array_equal(t(image), image)
+
+    def test_crop_negative_padding(self):
+        with pytest.raises(ValueError):
+            RandomCrop(padding=-1)
+
+    def test_compose_order(self):
+        t = Compose([lambda x: x + 1, lambda x: x * 2])
+        assert np.allclose(t(np.zeros(2)), 2.0)

@@ -1,0 +1,59 @@
+"""Determinism: identical seeds must give identical experiments.
+
+A reproduction artifact is only useful if its numbers are stable; these
+tests lock the full pipeline (data generation, init, training, AD
+measurement, Algorithm 1) to the seed.
+"""
+
+import numpy as np
+
+from repro.core import ExperimentRunner, QuantizationSchedule
+from repro.data import DataLoader, SyntheticCIFAR10
+from repro.density import SaturationDetector
+from repro.models import vgg11
+from repro.nn import Adam, CrossEntropyLoss
+
+
+def run_small_experiment(seed: int):
+    rng = np.random.default_rng(seed)
+    train, test = SyntheticCIFAR10(
+        train_per_class=6, test_per_class=2, image_size=8, seed=seed
+    )
+    model = vgg11(
+        num_classes=10, width_multiplier=0.0625, image_size=8,
+        rng=np.random.default_rng(seed),
+    )
+    runner = ExperimentRunner(
+        model,
+        DataLoader(train, batch_size=15, shuffle=True, rng=rng),
+        DataLoader(test, batch_size=20),
+        Adam(model.parameters(), lr=3e-3),
+        CrossEntropyLoss(),
+        input_shape=(3, 8, 8),
+        schedule=QuantizationSchedule(
+            max_iterations=2, max_epochs_per_iteration=3, min_epochs_per_iteration=2
+        ),
+        saturation=SaturationDetector(window=2, tolerance=0.5),
+    )
+    return runner.run()
+
+
+class TestExperimentDeterminism:
+    def test_identical_seeds_identical_reports(self):
+        a = run_small_experiment(31)
+        b = run_small_experiment(31)
+        assert len(a.rows) == len(b.rows)
+        for row_a, row_b in zip(a.rows, b.rows):
+            assert row_a.bit_widths == row_b.bit_widths
+            assert row_a.test_accuracy == row_b.test_accuracy
+            assert row_a.total_ad == row_b.total_ad
+            assert row_a.energy_efficiency == row_b.energy_efficiency
+            assert row_a.train_complexity == row_b.train_complexity
+
+    def test_different_seeds_differ(self):
+        a = run_small_experiment(31)
+        b = run_small_experiment(32)
+        assert any(
+            row_a.total_ad != row_b.total_ad
+            for row_a, row_b in zip(a.rows, b.rows)
+        )

@@ -1,0 +1,211 @@
+"""Analytical energy model: Table I constants, §IV-A formulas, profiling."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    AnalyticalEnergyModel,
+    EnergyConstants,
+    LayerProfile,
+    conv_mac_ops,
+    conv_mem_accesses,
+    energy_efficiency,
+    fc_mac_ops,
+    fc_mem_accesses,
+    mac_energy_pj,
+    memory_access_energy_pj,
+    profile_model,
+    trace_geometry,
+)
+from repro.models import resnet18, vgg19
+from repro.quant import LayerQuantSpec, QuantizationPlan
+
+
+class TestTableIConstants:
+    @pytest.mark.parametrize("bits,expected", [(1, 2.5), (4, 10.0), (16, 40.0), (32, 80.0)])
+    def test_memory_access_energy(self, bits, expected):
+        assert memory_access_energy_pj(bits) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [(32, 3.2), (16, 1.65), (8, 0.875), (4, 0.4875), (2, 0.29375), (1, 0.196875)],
+    )
+    def test_mac_energy(self, bits, expected):
+        """E_MAC|k = (3.1 * k)/32 + 0.1 pJ."""
+        assert mac_energy_pj(bits) == pytest.approx(expected)
+
+    def test_constants_are_table_i(self):
+        c = EnergyConstants()
+        assert c.mem_access_per_bit_pj == 2.5
+        assert c.mult32_pj == 3.1
+        assert c.add32_pj == 0.1
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            mac_energy_pj(0)
+        with pytest.raises(ValueError):
+            memory_access_energy_pj(-3)
+
+
+class TestCounts:
+    def test_conv_mem_formula(self):
+        # N_Mem = N^2*I + p^2*I*O.
+        assert conv_mem_accesses(32, 3, 64, 3) == 32 * 32 * 3 + 9 * 3 * 64
+
+    def test_conv_mac_formula(self):
+        # N_MAC = M^2*I*p^2*O.
+        assert conv_mac_ops(32, 3, 64, 3) == 32 * 32 * 3 * 9 * 64
+
+    def test_fc_formulas(self):
+        assert fc_mem_accesses(512, 10) == 512 + 5120
+        assert fc_mac_ops(512, 10) == 5120
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conv_mac_ops(0, 3, 4, 3)
+        with pytest.raises(ValueError):
+            fc_mac_ops(5, 0)
+
+
+def make_profile(**overrides):
+    base = dict(
+        name="conv",
+        kind="conv",
+        in_channels=3,
+        out_channels=8,
+        kernel=3,
+        input_size=16,
+        output_size=16,
+        bits=16,
+    )
+    base.update(overrides)
+    return LayerProfile(**base)
+
+
+class TestLayerProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_profile(kind="pool")
+        with pytest.raises(ValueError):
+            make_profile(bits=0)
+        with pytest.raises(ValueError):
+            make_profile(out_channels=0)
+
+    def test_effective_input_bits_defaults_to_bits(self):
+        assert make_profile(bits=4).effective_input_bits == 4
+        assert make_profile(bits=4, input_bits=16).effective_input_bits == 16
+
+
+class TestAnalyticalModel:
+    def test_layer_energy_formula(self):
+        model = AnalyticalEnergyModel()
+        profile = make_profile()
+        mem, mac = model.layer_counts(profile)
+        expected = mem * memory_access_energy_pj(16) + mac * mac_energy_pj(16)
+        assert model.layer_energy_pj(profile) == pytest.approx(expected)
+
+    def test_lower_bits_lower_energy(self):
+        model = AnalyticalEnergyModel()
+        assert model.layer_energy_pj(make_profile(bits=4)) < model.layer_energy_pj(
+            make_profile(bits=16)
+        )
+
+    def test_network_breakdown_sums(self):
+        model = AnalyticalEnergyModel()
+        profiles = [make_profile(name="a"), make_profile(name="b", bits=4)]
+        breakdown = model.network_energy(profiles)
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.mac_pj + breakdown.mem_pj
+        )
+        assert set(breakdown.per_layer_pj) == {"a", "b"}
+        assert breakdown.total_pj == pytest.approx(sum(breakdown.per_layer_pj.values()))
+
+    def test_empty_profiles_raise(self):
+        with pytest.raises(ValueError):
+            AnalyticalEnergyModel().network_energy([])
+
+    def test_efficiency_identity(self):
+        profiles = [make_profile()]
+        assert energy_efficiency(profiles, profiles) == pytest.approx(1.0)
+
+    def test_efficiency_improves_with_quantization(self):
+        baseline = [make_profile()]
+        quantized = [make_profile(bits=4)]
+        assert energy_efficiency(baseline, quantized) > 2.0
+
+    def test_mac_reduction_identity_and_order(self):
+        model = AnalyticalEnergyModel()
+        baseline = [make_profile()]
+        assert model.mac_reduction(baseline, baseline) == pytest.approx(1.0)
+        assert model.mac_reduction(baseline, [make_profile(bits=2)]) > 1.0
+
+
+class TestProfileModel:
+    def test_vgg19_profile_geometry(self, rng):
+        model = vgg19(num_classes=10, width_multiplier=0.125, rng=rng)
+        trace_geometry(model, (3, 32, 32))
+        profiles = profile_model(model, default_bits=16)
+        assert len(profiles) == 17
+        assert profiles[0].input_size == 32
+        assert profiles[-1].kind == "linear"
+        # Spatial sizes halve at each pool stage.
+        sizes = [p.input_size for p in profiles if p.kind == "conv"]
+        assert sizes[0] == 32 and sizes[-1] == 2
+
+    def test_geometry_required(self, rng):
+        model = vgg19(width_multiplier=0.125, rng=rng)
+        with pytest.raises(RuntimeError):
+            profile_model(model)
+
+    def test_plan_bits_used(self, rng):
+        model = vgg19(width_multiplier=0.125, rng=rng)
+        trace_geometry(model, (3, 32, 32))
+        names = model.layer_handles().names()
+        plan = QuantizationPlan([LayerQuantSpec(n, 3) for n in names])
+        profiles = profile_model(model, plan=plan)
+        assert all(p.bits == 3 for p in profiles)
+
+    def test_input_bits_follow_producer(self, rng):
+        model = vgg19(width_multiplier=0.125, rng=rng)
+        trace_geometry(model, (3, 32, 32))
+        names = model.layer_handles().names()
+        bits = [16] + [4] * (len(names) - 2) + [16]
+        plan = QuantizationPlan(
+            [LayerQuantSpec(n, b) for n, b in zip(names, bits)]
+        )
+        profiles = profile_model(model, plan=plan)
+        assert profiles[1].bits == 4
+        assert profiles[1].input_bits == 16  # producer conv1 is 16-bit
+        assert profiles[2].input_bits == 4
+
+    def test_resnet_includes_downsample_followers(self, rng):
+        model = resnet18(width_multiplier=0.125, rng=rng)
+        trace_geometry(model, (3, 32, 32))
+        profiles = profile_model(model, default_bits=16)
+        downsample = [p for p in profiles if "downsample" in p.name]
+        assert len(downsample) == 3
+        assert all(p.kernel == 1 for p in downsample)
+        without = profile_model(model, default_bits=16, include_followers=False)
+        assert len(without) == len(profiles) - 3
+
+    def test_pruning_masks_reduce_effective_channels(self, rng):
+        model = vgg19(width_multiplier=0.25, rng=rng)
+        trace_geometry(model, (3, 32, 32))
+        handle = model.layer_handles().by_name("conv3")
+        total = handle.out_channels
+        mask = np.zeros(total)
+        mask[: total // 2] = 1.0
+        handle.set_channel_mask(mask)
+        profiles = profile_model(model, default_bits=16)
+        conv3 = next(p for p in profiles if p.name == "conv3")
+        conv4 = next(p for p in profiles if p.name == "conv4")
+        assert conv3.out_channels == total // 2
+        assert conv4.in_channels == total // 2
+
+    def test_disabled_layer_skipped(self, rng):
+        model = vgg19(width_multiplier=0.125, rng=rng)
+        trace_geometry(model, (3, 32, 32))
+        model.layer_handles().by_name("conv16").unit.enabled = False
+        profiles = profile_model(model, default_bits=16)
+        assert all(p.name != "conv16" for p in profiles)
+        assert len(profiles) == 16

@@ -1,0 +1,170 @@
+"""Layer behaviour: shapes, gradients, quant hooks, BN statistics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, grad_check
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.quant import FakeQuantize
+
+
+class TestConv2dLayer:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, 3, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_stride_halves(self, rng):
+        layer = Conv2d(3, 4, 3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 4, 8, 8)
+
+    def test_no_bias_option(self, rng):
+        layer = Conv2d(2, 2, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_invalid_channels(self, rng):
+        with pytest.raises(ValueError):
+            Conv2d(0, 4, 3, rng=rng)
+
+    def test_weight_fake_quant_hook_applied(self, rng):
+        layer = Conv2d(2, 2, 3, rng=rng)
+        layer.weight_fake_quant = FakeQuantize(2)
+        effective = layer.effective_weight()
+        assert len(np.unique(effective.data)) <= 4  # 2 bits -> 4 levels
+
+    def test_weight_fake_quant_none_passthrough(self, rng):
+        layer = Conv2d(2, 2, 3, rng=rng)
+        assert layer.effective_weight() is layer.weight
+
+    def test_gradients_flow_to_master_weights_through_quant(self, rng):
+        layer = Conv2d(2, 2, 3, rng=rng)
+        layer.weight_fake_quant = FakeQuantize(4)
+        out = layer(Tensor(rng.normal(size=(1, 2, 5, 5))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == layer.weight.data.shape
+
+
+class TestLinearLayer:
+    def test_matches_manual(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out.data, expected)
+
+    def test_quant_hook(self, rng):
+        layer = Linear(8, 8, rng=rng)
+        layer.weight_fake_quant = FakeQuantize(1)
+        assert len(np.unique(layer.effective_weight().data)) <= 2
+
+    def test_invalid_features(self, rng):
+        with pytest.raises(ValueError):
+            Linear(4, 0, rng=rng)
+
+
+class TestBatchNorm2d:
+    def test_normalizes_batch(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=2.0, size=(8, 3, 4, 4))
+        out = bn(Tensor(x))
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        bn = BatchNorm2d(2, momentum=1.0)  # full replacement for testing
+        x = rng.normal(loc=3.0, size=(16, 2, 4, 4))
+        bn(Tensor(x))
+        assert np.allclose(bn.running_mean, x.mean(axis=(0, 2, 3)), atol=1e-7)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        for _ in range(10):
+            bn(Tensor(rng.normal(loc=1.0, size=(8, 2, 3, 3))))
+        bn.eval()
+        x = rng.normal(loc=1.0, size=(4, 2, 3, 3))
+        out = bn(Tensor(x))
+        inv = 1.0 / np.sqrt(bn.running_var + bn.eps)
+        expected = (x - bn.running_mean[None, :, None, None]) * inv[None, :, None, None]
+        assert np.allclose(out.data, expected, atol=1e-7)
+
+    def test_train_gradients_numerical(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+
+        def f(x_, g_, b_):
+            bn.gamma, bn.beta = g_, b_
+            return bn(x_)
+
+        gamma = Tensor(rng.normal(size=2) + 1.0, requires_grad=True)
+        beta = Tensor(rng.normal(size=2), requires_grad=True)
+        # BatchNorm recomputes batch stats each call, so grad_check works.
+        assert grad_check(f, [x, gamma, beta], atol=1e-5)
+
+    def test_eval_gradients_numerical(self, rng):
+        bn = BatchNorm2d(2)
+        bn(Tensor(rng.normal(size=(8, 2, 3, 3))))
+        bn.eval()
+        x = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        assert grad_check(lambda x_: bn(x_), [x], atol=1e-5)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(np.zeros((2, 3))))
+
+    def test_wrong_channels_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(np.zeros((2, 4, 5, 5))))
+
+
+class TestSimpleLayers:
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_maxpool_layer(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.normal(size=(1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_avgpool_layer(self, rng):
+        out = AvgPool2d(2)(Tensor(rng.normal(size=(1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_global_avg_pool(self, rng):
+        out = GlobalAvgPool2d()(Tensor(rng.normal(size=(2, 5, 7, 7))))
+        assert out.shape == (2, 5, 1, 1)
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.normal(size=(2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        assert Identity()(x) is x
+
+    def test_dropout_train_vs_eval(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((20, 20)))
+        layer.train()
+        out_train = layer(x)
+        assert (out_train.data == 0).any()
+        layer.eval()
+        out_eval = layer(x)
+        assert np.allclose(out_eval.data, 1.0)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)

@@ -1,0 +1,80 @@
+"""Loss modules and weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import CrossEntropyLoss, MSELoss
+from repro.nn import init
+
+
+class TestLosses:
+    def test_cross_entropy_module(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        loss = CrossEntropyLoss()(logits, np.array([0, 1, 2, 0]))
+        loss.backward()
+        assert logits.grad is not None
+        assert loss.item() > 0
+
+    def test_mse_zero_for_equal(self, rng):
+        x = rng.normal(size=(3, 3))
+        assert MSELoss()(Tensor(x), x).item() == 0.0
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert np.isclose(MSELoss()(pred, np.array([0.0, 0.0])).item(), 2.5)
+
+    def test_mse_accepts_tensor_target(self, rng):
+        x = rng.normal(size=(2, 2))
+        assert MSELoss()(Tensor(x), Tensor(x)).item() == 0.0
+
+    def test_mse_gradient(self):
+        pred = Tensor(np.array([3.0]), requires_grad=True)
+        MSELoss()(pred, np.array([1.0])).backward()
+        assert np.allclose(pred.grad, [4.0])  # 2*(3-1)/1
+
+
+class TestFanComputation:
+    def test_linear_fans(self):
+        fan_in, fan_out = init._fan_in_fan_out((10, 20))
+        assert (fan_in, fan_out) == (20, 10)
+
+    def test_conv_fans(self):
+        fan_in, fan_out = init._fan_in_fan_out((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            init._fan_in_fan_out((5,))
+
+
+class TestInitializers:
+    def test_kaiming_normal_std(self, rng):
+        w = init.kaiming_normal((256, 128, 3, 3), rng)
+        expected_std = np.sqrt(2.0 / (128 * 9))
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = init.kaiming_uniform((64, 64), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((200, 300), rng)
+        expected_std = np.sqrt(2.0 / 500)
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform((100, 100), rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+        assert np.all(init.ones((3, 3)) == 1)
+
+    def test_deterministic_given_rng(self):
+        a = init.kaiming_normal((4, 4), np.random.default_rng(5))
+        b = init.kaiming_normal((4, 4), np.random.default_rng(5))
+        assert np.array_equal(a, b)

@@ -1,0 +1,135 @@
+"""Optimizer and scheduler math."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, CosineAnnealingLR, StepLR
+from repro.nn.module import Parameter
+
+
+def make_param(values):
+    param = Parameter(np.array(values, dtype=np.float64))
+    param.grad = np.ones_like(param.data)
+    return param
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([1.0, 2.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.9, 1.9])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()  # v = 1 -> p = -1
+        p.grad = np.ones(1)
+        opt.step()  # v = 1.9 -> p = -2.9
+        assert np.allclose(p.data, [-2.9])
+
+    def test_weight_decay_adds_l2_grad(self):
+        p = make_param([2.0])
+        p.grad = np.zeros(1)
+        SGD([p], lr=0.5, weight_decay=0.1).step()
+        assert np.allclose(p.data, [2.0 - 0.5 * 0.2])
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0, 1.0])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, momentum=1.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.0)
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, |step 1| == lr for any constant gradient.
+        p = make_param([0.0])
+        Adam([p], lr=0.01).step()
+        assert np.allclose(p.data, [-0.01], atol=1e-8)
+
+    def test_matches_reference_implementation(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(rng.normal(size=5))
+        reference = p.data.copy()
+        m = np.zeros(5)
+        v = np.zeros(5)
+        opt = Adam([p], lr=0.004, betas=(0.9, 0.999), eps=1e-8)
+        for t in range(1, 6):
+            grad = rng.normal(size=5)
+            p.grad = grad.copy()
+            opt.step()
+            m = 0.9 * m + 0.1 * grad
+            v = 0.999 * v + 0.001 * grad * grad
+            m_hat = m / (1 - 0.9**t)
+            v_hat = v / (1 - 0.999**t)
+            reference -= 0.004 * m_hat / (np.sqrt(v_hat) + 1e-8)
+            assert np.allclose(p.data, reference, atol=1e-12)
+
+    def test_weight_decay(self):
+        p = make_param([1.0])
+        p.grad = np.zeros(1)
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 1.0
+
+    def test_adaptive_scaling_shrinks_large_grad_dims(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        for _ in range(50):
+            p.grad = np.array([1.0, 100.0])
+            opt.step()
+        # Adam normalizes per-dimension: both coordinates move similarly.
+        assert abs(p.data[0] - p.data[1]) < abs(p.data[0]) * 0.2
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_step_lr_invalid_step(self):
+        with pytest.raises(ValueError):
+            StepLR(SGD([make_param([1.0])], lr=1.0), step_size=0)
+
+    def test_cosine_endpoints(self):
+        opt = SGD([make_param([1.0])], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_cosine_midpoint_half(self):
+        opt = SGD([make_param([1.0])], lr=2.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert np.isclose(opt.lr, 1.0)
+
+    def test_cosine_clamps_past_tmax(self):
+        opt = SGD([make_param([1.0])], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=3, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.1)

@@ -1,0 +1,126 @@
+"""The paper's five numbered equations, locked to worked examples.
+
+A reproduction lives or dies by its equations; each test here pins one
+of them to hand-computed values so refactors cannot silently change the
+math.
+"""
+
+import numpy as np
+import pytest
+
+from repro.density import activation_density
+from repro.energy import conv_mac_ops, conv_mem_accesses, mac_energy_pj
+from repro.quant import dequantize, quantize
+
+
+class TestEqn1Quantization:
+    """x_q = round((x - x_min) * (2^k - 1)/(x_max - x_min))."""
+
+    def test_hand_computed_codes(self):
+        x = np.array([0.0, 0.3, 0.5, 1.0])
+        # k=3: 7 levels over [0,1] -> codes round(x*7).
+        assert np.array_equal(quantize(x, 3), [0, 2, 4, 7])
+
+    def test_negative_range(self):
+        x = np.array([-1.0, 0.0, 1.0])
+        # k=2: codes round((x+1)*1.5) = [0, 2, 3].
+        assert np.array_equal(quantize(x, 2), [0, 2, 3])
+
+    def test_dequantized_grid_spacing(self):
+        values = dequantize(np.arange(4), 2, 0.0, 3.0)
+        assert np.allclose(np.diff(values), 1.0)
+
+
+class TestEqn2ActivationDensity:
+    """AD = #nonzero / #total."""
+
+    def test_paper_worked_example(self):
+        """'a layer with 512 neurons and 100 neurons yielding non-zero
+        output, AD will be 100/512 = 0.195'."""
+        acts = np.zeros(512)
+        acts[:100] = np.abs(np.random.default_rng(0).normal(size=100)) + 0.1
+        assert activation_density(acts) == pytest.approx(100 / 512)
+        assert round(activation_density(acts), 3) == 0.195
+
+
+class TestEqn3BitWidthUpdate:
+    """k_l = round(k_l_initial * AD_l)."""
+
+    def test_paper_worked_example(self):
+        """'AD_l values {0.9, 0.3, 0.5} and initial bit-widths
+        {16, 10, 8} ... yield {14-bit, 3-bit, 4-bit}'."""
+        ads = [0.9, 0.3, 0.5]
+        bits = [16, 10, 8]
+        updated = [round(k * ad) for k, ad in zip(bits, ads)]
+        assert updated == [14, 3, 4]
+
+    def test_via_adquantizer(self, micro_vgg):
+        from repro.core import ADQuantizer, QuantizationSchedule, Trainer
+        from repro.nn import Adam, CrossEntropyLoss
+
+        trainer = Trainer(
+            micro_vgg, Adam(micro_vgg.parameters(), lr=1e-3), CrossEntropyLoss()
+        )
+        quantizer = ADQuantizer(trainer, QuantizationSchedule())
+        quantizer.apply_plan(quantizer.initial_plan())
+        names = micro_vgg.layer_handles().names()
+        densities = dict.fromkeys(names, 0.5)
+        plan = quantizer.update_plan(densities)
+        for spec in plan:
+            assert spec.bits == (16 if spec.frozen else 8)
+
+
+class TestEqn4TrainingComplexity:
+    """TC = sum_i (MAC reduction_i)^-1 * #epochs_i."""
+
+    def test_hand_computed(self):
+        from repro.core import TrainingComplexity
+
+        tc = TrainingComplexity(baseline_epochs=210)
+        tc.add_iteration(1.0, 100)   # iteration 1: full precision
+        tc.add_iteration(5.0, 70)    # iteration 2: 5x cheaper MACs
+        assert tc.raw() == pytest.approx(100 + 14)
+        assert tc.relative() == pytest.approx(114 / 210)
+
+
+class TestEqn5ChannelPruning:
+    """C_l = round(C_l_initial * AD_l)."""
+
+    def test_hand_computed(self):
+        assert round(64 * 0.3) == 19  # the paper's VGG19 conv2: 64 -> 19
+
+    def test_via_pruner(self, micro_vgg, tiny_loader):
+        from repro.core import ADPruner, Trainer
+        from repro.nn import Adam, CrossEntropyLoss
+
+        trainer = Trainer(
+            micro_vgg, Adam(micro_vgg.parameters(), lr=1e-3), CrossEntropyLoss()
+        )
+        trainer.train_epoch(tiny_loader)
+        pruner = ADPruner(micro_vgg.layer_handles())
+        densities = {h.name: 0.75 for h in pruner.prunable_handles()}
+        plan = pruner.compute_plan(densities)
+        for handle in pruner.prunable_handles():
+            assert plan[handle.name] == max(1, round(handle.out_channels * 0.75))
+
+
+class TestSectionIVAFormulas:
+    """N_Mem, N_MAC and E_l from §IV-A, on the paper's VGG19 conv2."""
+
+    def test_vgg19_conv2_counts(self):
+        # conv2: 3x3, 64 -> 64 channels, 32x32 feature maps.
+        n_mem = conv_mem_accesses(32, 64, 64, 3)
+        n_mac = conv_mac_ops(32, 64, 64, 3)
+        assert n_mem == 32 * 32 * 64 + 9 * 64 * 64
+        assert n_mac == 32 * 32 * 64 * 9 * 64
+
+    def test_energy_composition(self):
+        # E_l at 4 bits: N_Mem * 10 pJ + N_MAC * 0.4875 pJ.
+        from repro.energy import AnalyticalEnergyModel, LayerProfile
+
+        profile = LayerProfile("conv2", "conv", 64, 64, 3, 32, 32, 4)
+        model = AnalyticalEnergyModel()
+        expected = (32 * 32 * 64 + 9 * 64 * 64) * 10.0 + (
+            32 * 32 * 64 * 9 * 64
+        ) * mac_energy_pj(4)
+        assert model.layer_energy_pj(profile) == pytest.approx(expected)

@@ -1,0 +1,161 @@
+"""Hypothesis property tests on cross-module invariants.
+
+These cover the contracts that the reproduction's conclusions rest on:
+energy monotonicity in precision, snapping correctness, AD bounds under
+arbitrary activations, eqn-3 bit-width dynamics, and PIM exactness under
+mixed operand widths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import LayerProfile
+from repro.energy.analytical import AnalyticalEnergyModel
+from repro.pim import PIMAccelerator, PIMEnergyModel
+from repro.quant import snap_to_hardware_precision
+
+BITS = st.integers(min_value=1, max_value=32)
+
+
+class TestSnappingProperties:
+    @given(BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_snap_never_shrinks_below_input_within_range(self, bits):
+        snapped = snap_to_hardware_precision(bits)
+        assert snapped in (2, 4, 8, 16)
+        if bits <= 16:
+            assert snapped >= bits
+
+    @given(BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_snap_idempotent(self, bits):
+        snapped = snap_to_hardware_precision(bits)
+        assert snap_to_hardware_precision(snapped) == snapped
+
+    @given(st.integers(min_value=1, max_value=31))
+    @settings(max_examples=60, deadline=None)
+    def test_snap_monotone(self, bits):
+        assert snap_to_hardware_precision(bits + 1) >= snap_to_hardware_precision(bits)
+
+
+def profile_with_bits(bits, input_bits=None):
+    return LayerProfile(
+        name="l", kind="conv", in_channels=4, out_channels=8, kernel=3,
+        input_size=8, output_size=8, bits=bits, input_bits=input_bits,
+    )
+
+
+class TestEnergyMonotonicity:
+    @given(st.integers(min_value=1, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_analytical_energy_monotone_in_bits(self, bits):
+        model = AnalyticalEnergyModel()
+        assert model.layer_energy_pj(profile_with_bits(bits)) < model.layer_energy_pj(
+            profile_with_bits(bits + 1)
+        )
+
+    @given(st.integers(min_value=1, max_value=15), st.integers(min_value=1, max_value=15))
+    @settings(max_examples=40, deadline=None)
+    def test_pim_energy_monotone_under_snapping(self, low, extra):
+        high = low + extra
+        model = PIMEnergyModel()
+        low_e = model.layer_energy_uj(profile_with_bits(low, input_bits=low))
+        high_e = model.layer_energy_uj(profile_with_bits(high, input_bits=high))
+        assert high_e >= low_e
+
+    @given(BITS, BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_operand_max_rule_symmetric_bound(self, weight_bits, input_bits):
+        """operand-max energy >= weight-only energy, always."""
+        operand_max = PIMEnergyModel()
+        weight_only = PIMEnergyModel(precision_rule="weight-only")
+        profile = profile_with_bits(weight_bits, input_bits=input_bits)
+        assert operand_max.layer_energy_uj(profile) >= weight_only.layer_energy_uj(
+            profile
+        )
+
+
+class TestEqn3Dynamics:
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bits_never_increase(self, bits, density):
+        new_bits = max(1, round(bits * density))
+        assert 1 <= new_bits <= bits
+
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_density_one_is_fixed_point(self, bits):
+        assert max(1, round(bits * 1.0)) == bits
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_iterated_eqn3_terminates(self, densities):
+        """Repeatedly applying eqn. 3 with any density sequence reaches a
+        fixed point in finitely many steps (bits are positive integers
+        and non-increasing)."""
+        bits = 16
+        for density in densities * 10:
+            new_bits = max(1, round(bits * density))
+            assert new_bits <= bits
+            bits = new_bits
+        assert bits >= 1
+
+
+class TestPIMExactnessMixedWidths:
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.sampled_from([2, 4, 8, 16]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_mixed_width_gemv_exact(self, w_bits, a_bits, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 1 << w_bits, size=(12, 5))
+        acts = rng.integers(0, 1 << a_bits, size=(2, 12))
+        accelerator = PIMAccelerator(rows=8, cols=8 * w_bits)
+        accelerator.load_matrix(weights, w_bits, activation_bits=a_bits)
+        assert np.array_equal(accelerator.matmul(acts), acts @ weights)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_zero_activation_zero_output(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 16, size=(10, 4))
+        accelerator = PIMAccelerator(rows=16, cols=16)
+        accelerator.load_matrix(weights, 4)
+        assert np.array_equal(
+            accelerator.matvec(np.zeros(10, dtype=int)), np.zeros(4, dtype=int)
+        )
+
+
+class TestDensityUnderQuantization:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fake_quant_never_creates_nonzeros_from_relu_zeros(self, bits, seed):
+        """Quantizing a post-ReLU tensor cannot turn zeros into non-zeros
+        (x_min = 0 maps to code 0 maps back to 0), so measured AD can
+        only stay equal or drop under activation quantization."""
+        from repro.quant import UniformQuantizer
+
+        rng = np.random.default_rng(seed)
+        acts = np.maximum(rng.normal(size=100), 0.0)
+        quantized = UniformQuantizer(bits).fake_quant(acts)
+        zero_positions = acts == 0.0
+        assert np.all(quantized[zero_positions] == 0.0)
+        before = np.count_nonzero(acts)
+        after = np.count_nonzero(quantized)
+        assert after <= before
