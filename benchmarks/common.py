@@ -7,24 +7,28 @@ completes in minutes.  Layer counts, the AD-quantization algorithm, the
 energy models and every reported column are identical to the full-scale
 configuration; the hardware-energy benches (Tables IV-VI) run at the
 paper's full width since they need no training.
+
+The table benchmarks (II/III) now run through the experiment registry
+(`repro.api.experiments`) whose presets carry these same settings; the
+builders below remain for the figure/ablation benches that drive the
+trainer and quantizer directly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ExperimentRunner, QuantizationSchedule
 from repro.data import (
     DataLoader,
     SyntheticCIFAR10,
     SyntheticCIFAR100,
     SyntheticTinyImageNet,
 )
-from repro.density import SaturationDetector
 from repro.models import resnet18, vgg19
-from repro.nn import Adam, CrossEntropyLoss
 
-# Benchmark-scale knobs (one place to widen if more compute is available).
+# Scale knobs for the figure/ablation benches below.  The Table II/III
+# benches no longer read these: their scale lives in the registry presets
+# (src/repro/api/experiments.py) — widen both places together.
 VGG_WIDTH = 0.125
 RESNET_WIDTH = 0.125
 IMAGE_SIZE = 16
@@ -90,42 +94,6 @@ def make_resnet18(num_classes: int = 100, seed: int = 0, width: float | None = N
         num_classes=num_classes,
         width_multiplier=RESNET_WIDTH if width is None else width,
         rng=np.random.default_rng(seed),
-    )
-
-
-def make_runner(
-    model,
-    train_loader,
-    test_loader,
-    max_iterations: int = 3,
-    epochs_cap: int = 8,
-    min_epochs: int = 4,
-    initial_bits: int = 16,
-    prune: bool = False,
-    lr: float = 3e-3,
-    architecture: str = "model",
-    dataset: str = "dataset",
-    final_epochs: int = 0,
-) -> ExperimentRunner:
-    schedule = QuantizationSchedule(
-        initial_bits=initial_bits,
-        max_iterations=max_iterations,
-        max_epochs_per_iteration=epochs_cap,
-        min_epochs_per_iteration=min_epochs,
-        final_epochs=final_epochs,
-    )
-    return ExperimentRunner(
-        model,
-        train_loader,
-        test_loader,
-        Adam(model.parameters(), lr=lr),
-        CrossEntropyLoss(),
-        input_shape=(3, IMAGE_SIZE, IMAGE_SIZE),
-        schedule=schedule,
-        saturation=SaturationDetector(window=3, tolerance=0.04),
-        prune=prune,
-        architecture=architecture,
-        dataset=dataset,
     )
 
 

@@ -7,14 +7,12 @@ verifying the intuitive monotonicity: looser tolerance -> earlier
 re-quantization -> fewer epochs per iteration.
 """
 
-import numpy as np
-
 from repro.core import ADQuantizer, QuantizationSchedule, Trainer
 from repro.density import SaturationDetector
 from repro.nn import Adam, CrossEntropyLoss
 from repro.utils import format_table
 
-from common import IMAGE_SIZE, cifar10_loaders, make_vgg19
+from common import cifar10_loaders, make_vgg19
 
 
 def run_with_tolerance(tolerance: float):

@@ -6,8 +6,6 @@ efficiencies ~5-7x greater than practical hardware implementations
 pruned + mixed-precision models and reports their ratio.
 """
 
-import pytest
-
 from repro.energy import AnalyticalEnergyModel, profile_model, trace_geometry
 from repro.models import vgg19
 from repro.pim import PIMEnergyModel

@@ -1,31 +1,21 @@
 """E4 — Table II(b): AD quantization, ResNet18 on (synthetic) CIFAR-100.
 
-Paper shape: 2.76-3.19x energy efficiency at near-iso accuracy, training
+Runs through the ``resnet18-cifar100-quant`` registry preset.  Paper
+shape: 2.76-3.19x energy efficiency at near-iso accuracy, training
 complexity ~0.6-0.7x, with skip branches following destination-layer
 bit-widths (Fig. 2).
 """
 
-from common import cifar100_loaders, make_resnet18, make_runner
+from repro.api import experiments
 
 
 def run_experiment():
-    train_loader, test_loader = cifar100_loaders()
-    model = make_resnet18(num_classes=100, seed=1)
-    runner = make_runner(
-        model,
-        train_loader,
-        test_loader,
-        max_iterations=3,
-        epochs_cap=8,
-        min_epochs=4,
-        architecture="ResNet18",
-        dataset="SyntheticCIFAR100",
-    )
-    return runner.run(), runner
+    experiment = experiments.build("resnet18-cifar100-quant")
+    return experiment.run(), experiment
 
 
 def test_table2b_resnet18_cifar100(benchmark):
-    report, runner = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report, experiment = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     print()
     print(report.format())
 
@@ -42,7 +32,7 @@ def test_table2b_resnet18_cifar100(benchmark):
 
     # Fig. 2 invariant: every block's skip machinery carries the
     # destination layer's bit-width.
-    model = runner.model
+    model = experiment.model
     for handle in model.layer_handles():
         if handle.name.endswith("conv2"):
             block = handle.host

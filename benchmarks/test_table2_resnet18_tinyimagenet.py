@@ -1,5 +1,6 @@
 """E5 — Table II(c): ResNet18 on (synthetic) TinyImageNet, 32-bit start.
 
+Runs through the ``resnet18-tinyimagenet-quant`` registry preset.
 Distinctive features of the paper's TinyImageNet runs: the initial model
 is 32-bit full precision, eqn. 3 therefore produces intermediate
 bit-widths above 16 (e.g. 22, 24), frozen boundary layers are listed at
@@ -7,24 +8,11 @@ bit-widths above 16 (e.g. 22, 24), frozen boundary layers are listed at
 energy efficiency.
 """
 
-from common import make_resnet18, make_runner, tinyimagenet_loaders
+from repro.api import experiments
 
 
 def run_experiment():
-    train_loader, test_loader = tinyimagenet_loaders()
-    model = make_resnet18(num_classes=200, seed=2)
-    runner = make_runner(
-        model,
-        train_loader,
-        test_loader,
-        max_iterations=4,
-        epochs_cap=6,
-        min_epochs=3,
-        initial_bits=32,
-        architecture="ResNet18",
-        dataset="SyntheticTinyImageNet",
-    )
-    return runner.run()
+    return experiments.build("resnet18-tinyimagenet-quant").run()
 
 
 def test_table2c_resnet18_tinyimagenet(benchmark):

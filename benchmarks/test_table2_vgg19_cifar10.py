@@ -1,32 +1,23 @@
 """E3 — Table II(a): AD quantization, VGG19 on (synthetic) CIFAR-10.
 
-Runs Algorithm 1 end to end and prints the paper's columns per
-iteration, including the row-2a variant that removes the dead last conv
-layer.  Expected shape (not absolute numbers): iso-accuracy with the
-baseline, energy efficiency ~4x by the final iteration, training
-complexity < 1x.
+Runs Algorithm 1 end to end through the ``vgg19-cifar10-quant`` registry
+preset and prints the paper's columns per iteration, including the
+row-2a variant that removes the dead last conv layer.  Expected shape
+(not absolute numbers): iso-accuracy with the baseline, energy
+efficiency ~4x by the final iteration, training complexity < 1x.
 """
 
-from common import cifar10_loaders, make_runner, make_vgg19
+from repro.api import experiments, remove_layer_and_retrain
 
 
 def run_experiment():
-    train_loader, test_loader = cifar10_loaders()
-    model = make_vgg19(seed=0)
-    runner = make_runner(
-        model,
-        train_loader,
-        test_loader,
-        max_iterations=3,
-        epochs_cap=12,
-        min_epochs=6,
-        architecture="VGG19",
-        dataset="SyntheticCIFAR10",
-    )
-    report = runner.run()
+    experiment = experiments.build("vgg19-cifar10-quant")
+    report = experiment.run()
     # Row 2a: drop the last conv layer (512->512, shape-preserving) and
     # retrain briefly, as in the paper's iteration-2a row.
-    row_2a = runner.remove_layer_and_retrain("conv16", epochs=3, label="2a")
+    row_2a = remove_layer_and_retrain(
+        experiment.context, "conv16", epochs=3, label="2a"
+    )
     report.rows.append(row_2a)
     return report
 

@@ -1,54 +1,23 @@
 """E6 — Table III: AD quantization fused with AD channel pruning.
 
-Each eqn.-3 re-quantization step also applies eqn.-5 channel pruning
-from the same AD snapshot.  Paper shape: energy efficiency explodes
-(hundreds of x analytically) at a moderate (~5 point) accuracy cost;
-channel counts shrink monotonically.
+Runs through the ``*-quant-prune`` registry presets: each eqn.-3
+re-quantization step also applies eqn.-5 channel pruning from the same
+AD snapshot.  Paper shape: energy efficiency explodes (hundreds of x
+analytically) at a moderate (~5 point) accuracy cost; channel counts
+shrink monotonically.
 """
 
-from common import (
-    cifar10_loaders,
-    cifar100_loaders,
-    make_resnet18,
-    make_runner,
-    make_vgg19,
-)
+from repro.api import experiments
 
 
 def run_vgg():
-    train_loader, test_loader = cifar10_loaders()
-    model = make_vgg19(seed=3)
     # The paper's Table III(a) reports exactly two iterations for VGG19;
     # a third quant+prune round over-compresses the width-scaled model.
-    runner = make_runner(
-        model,
-        train_loader,
-        test_loader,
-        max_iterations=2,
-        epochs_cap=10,
-        min_epochs=5,
-        prune=True,
-        architecture="VGG19 (quant+prune)",
-        dataset="SyntheticCIFAR10",
-    )
-    return runner.run()
+    return experiments.build("vgg19-cifar10-quant-prune").run()
 
 
 def run_resnet():
-    train_loader, test_loader = cifar100_loaders()
-    model = make_resnet18(num_classes=100, seed=4)
-    runner = make_runner(
-        model,
-        train_loader,
-        test_loader,
-        max_iterations=3,
-        epochs_cap=6,
-        min_epochs=3,
-        prune=True,
-        architecture="ResNet18 (quant+prune)",
-        dataset="SyntheticCIFAR100",
-    )
-    return runner.run()
+    return experiments.build("resnet18-cifar100-quant-prune").run()
 
 
 def _check_report(report):

@@ -1,56 +1,54 @@
-"""Quickstart: AD-based mixed-precision quantization in ~60 lines.
+"""Quickstart: AD-based mixed-precision quantization, declaratively.
 
-Trains a small VGG on a synthetic CIFAR-10 stand-in with Algorithm 1:
+Describes the whole experiment as one :class:`ExperimentConfig` — a
+small VGG on a synthetic CIFAR-10 stand-in, trained with Algorithm 1:
 train until activation density (AD) saturates, re-quantize every layer
 to ``round(k_l * AD_l)`` bits (eqn. 3 of the paper), repeat, and report
 accuracy / energy-efficiency / training-complexity — the columns of the
 paper's Table II.
 
+The same experiment is registered as the ``quickstart-vgg11`` preset, so
+this whole file is equivalent to:
+
+    python -m repro run --preset quickstart-vgg11
+
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.core import ExperimentRunner, QuantizationSchedule
-from repro.data import DataLoader, SyntheticCIFAR10
-from repro.density import SaturationDetector
-from repro.models import vgg11
-from repro.nn import Adam, CrossEntropyLoss
+from repro.api import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    Pipeline,
+    QuantConfig,
+    QuantizeStage,
+    build_context,
+)
 
 
 def main():
-    rng = np.random.default_rng(0)
-
-    # 1. Data: a deterministic synthetic stand-in for CIFAR-10
-    #    (10 classes, 3x16x16 here for CPU speed).
-    train_set, test_set = SyntheticCIFAR10(
-        train_per_class=24, test_per_class=8, image_size=16, seed=0
-    )
-    train_loader = DataLoader(train_set, batch_size=30, shuffle=True, rng=rng)
-    test_loader = DataLoader(test_set, batch_size=80)
-
-    # 2. Model: VGG11 with AD/quantization instrumentation built in.
-    model = vgg11(num_classes=10, width_multiplier=0.25, image_size=16, rng=rng)
-
-    # 3. Algorithm 1 end to end, via the experiment runner.
-    runner = ExperimentRunner(
-        model,
-        train_loader,
-        test_loader,
-        optimizer=Adam(model.parameters(), lr=3e-3),
-        loss_fn=CrossEntropyLoss(),
-        input_shape=(3, 16, 16),
-        schedule=QuantizationSchedule(
-            initial_bits=16,
-            max_iterations=3,
-            max_epochs_per_iteration=10,
-            min_epochs_per_iteration=5,
-        ),
-        saturation=SaturationDetector(window=3, tolerance=0.04),
+    # 1. Declare the experiment: model, data, and Algorithm-1 schedule.
+    #    Configs are frozen, validated, and JSON round-trippable.
+    config = ExperimentConfig(
+        name="quickstart",
         architecture="VGG11",
         dataset="SyntheticCIFAR10",
+        model=ModelConfig(arch="vgg11", num_classes=10,
+                          width_multiplier=0.25, image_size=16, seed=0),
+        data=DataConfig(dataset="synthetic-cifar10", train_per_class=24,
+                        test_per_class=8, image_size=16, seed=0,
+                        train_batch_size=30, test_batch_size=80),
+        quant=QuantConfig(initial_bits=16, max_iterations=3,
+                          max_epochs_per_iteration=10,
+                          min_epochs_per_iteration=5,
+                          saturation_window=3, saturation_tolerance=0.04),
     )
-    report = runner.run()
+
+    # 2. Build the live objects (model, loaders, trainer, quantizer)...
+    ctx = build_context(config)
+
+    # 3. ...and run Algorithm 1 as a one-stage pipeline.
+    report = Pipeline([QuantizeStage()]).run(ctx)
 
     # 4. The Table II-style summary.
     print(report.format())

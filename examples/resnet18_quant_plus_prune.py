@@ -1,9 +1,15 @@
 """Scenario 2 — joint quantization + channel pruning (Table III).
 
-ResNet18 on a synthetic CIFAR-100 stand-in.  Every eqn.-3
-re-quantization step also applies eqn.-5 channel pruning from the same
-activation-density snapshot, compounding the energy savings (the paper
-reports 150-300x analytical / ~44x PIM for ResNet18).
+ResNet18 on a synthetic CIFAR-100 stand-in, via the declarative API:
+the ``resnet18-cifar100-quant-prune`` preset enables fused eqn.-5
+pruning, so every eqn.-3 re-quantization step also prunes channels from
+the same activation-density snapshot, compounding the energy savings
+(the paper reports 150-300x analytical / ~44x PIM for ResNet18).
+
+The preset's schedule is overridden to two rounds here: at
+width-multiplier 0.125 a third round prunes layers to 2-3 channels and
+collapses accuracy (the paper's full-width model tolerates 3 rounds,
+Table III(b)).
 
 Also demonstrates the skip-connection rule of Fig. 2: downsample convs
 and skip-branch activation quantizers always carry the destination
@@ -12,47 +18,21 @@ layer's bit-width.
 Run:  python examples/resnet18_quant_plus_prune.py
 """
 
-import numpy as np
-
-from repro.core import ExperimentRunner, QuantizationSchedule
-from repro.data import DataLoader, SyntheticCIFAR100
-from repro.density import SaturationDetector
-from repro.models import resnet18
-from repro.nn import Adam, CrossEntropyLoss
+from repro.api import experiments
 from repro.utils import format_table
 
 
 def main():
-    rng = np.random.default_rng(1)
-    train_set, test_set = SyntheticCIFAR100(
-        train_per_class=8, test_per_class=3, image_size=16, noise=0.6, seed=1
+    experiment = experiments.build(
+        "resnet18-cifar100-quant-prune",
+        quant={"max_iterations": 2, "max_epochs_per_iteration": 8,
+               "min_epochs_per_iteration": 4},
     )
-    train_loader = DataLoader(train_set, batch_size=40, shuffle=True, rng=rng)
-    test_loader = DataLoader(test_set, batch_size=100)
-
-    model = resnet18(num_classes=100, width_multiplier=0.125, rng=rng)
-    runner = ExperimentRunner(
-        model,
-        train_loader,
-        test_loader,
-        Adam(model.parameters(), lr=3e-3),
-        CrossEntropyLoss(),
-        input_shape=(3, 16, 16),
-        # Two quant+prune rounds: at width-multiplier 0.125 a third round
-        # prunes layers to 2-3 channels and collapses accuracy (the
-        # paper's full-width model tolerates 3 rounds, Table III(b)).
-        schedule=QuantizationSchedule(
-            max_iterations=2, max_epochs_per_iteration=8, min_epochs_per_iteration=4
-        ),
-        saturation=SaturationDetector(window=3, tolerance=0.04),
-        prune=True,
-        architecture="ResNet18 (quant+prune)",
-        dataset="SyntheticCIFAR100",
-    )
-    report = runner.run()
+    report = experiment.run()
     print(report.format())
 
     # Fig. 2 rule, verified on the live model.
+    model = experiment.model
     rows = []
     for handle in model.layer_handles():
         if handle.name.endswith("conv2"):

@@ -1,65 +1,50 @@
 """Scenario 1 — the paper's flagship experiment: VGG19 on CIFAR-10.
 
-Reproduces the Table II(a) workflow at CPU scale, including:
+Reproduces the Table II(a) workflow at CPU scale through the experiment
+registry: ``experiments.build("vgg19-cifar10-quant")`` resolves the
+named preset into a config, a context, and the default pipeline.  On
+top of the preset this script demonstrates:
 
-* per-layer AD monitoring during training (the data behind Figs. 1/3),
-* Algorithm-1 in-training quantization over multiple iterations,
+* a pipeline callback streaming per-iteration progress (the hook
+  protocol sweeps and loggers plug into),
 * the iteration-2a variant that *removes* the dead last conv layer,
 * analytical (Table I) and PIM (Table IV) energy accounting side by side.
+
+The same run, headless:  python -m repro run --preset vgg19-cifar10-quant
 
 Run:  python examples/vgg19_cifar10_quantization.py
 """
 
-import numpy as np
-
-from repro.core import ExperimentRunner, QuantizationSchedule
-from repro.data import DataLoader, SyntheticCIFAR10
-from repro.density import SaturationDetector
+from repro.api import PipelineCallback, experiments, remove_layer_and_retrain
 from repro.energy import profile_model
-from repro.models import vgg19
-from repro.nn import Adam, CrossEntropyLoss
 from repro.pim import PIMEnergyModel
 from repro.utils import format_table
 
-IMAGE_SIZE = 16
+
+class IterationPrinter(PipelineCallback):
+    """Minimal observer: one line per Algorithm-1 iteration."""
+
+    def on_iteration_end(self, ctx, row):
+        print(
+            f"  iteration {row.label or row.iteration}: "
+            f"bits {row.bit_widths}, acc {row.test_accuracy * 100:.2f}%"
+        )
 
 
 def main():
-    rng = np.random.default_rng(7)
-    train_set, test_set = SyntheticCIFAR10(
-        train_per_class=24, test_per_class=8, image_size=IMAGE_SIZE, noise=0.8, seed=7
-    )
-    train_loader = DataLoader(train_set, batch_size=30, shuffle=True, rng=rng)
-    test_loader = DataLoader(test_set, batch_size=80)
-
-    model = vgg19(
-        num_classes=10, width_multiplier=0.125, image_size=IMAGE_SIZE, rng=rng
-    )
-    runner = ExperimentRunner(
-        model,
-        train_loader,
-        test_loader,
-        Adam(model.parameters(), lr=3e-3),
-        CrossEntropyLoss(),
-        input_shape=(3, IMAGE_SIZE, IMAGE_SIZE),
-        schedule=QuantizationSchedule(
-            max_iterations=3, max_epochs_per_iteration=12, min_epochs_per_iteration=6
-        ),
-        saturation=SaturationDetector(window=3, tolerance=0.04),
-        architecture="VGG19",
-        dataset="SyntheticCIFAR10",
-    )
-    report = runner.run()
+    experiment = experiments.build("vgg19-cifar10-quant")
+    report = experiment.run(callbacks=[IterationPrinter()])
 
     # Paper iteration 2a: the last conv layer's AD is very low — remove
     # it entirely and retrain briefly.
-    conv16_ad = runner.trainer.monitor.latest()["conv16"]
+    ctx = experiment.context
+    conv16_ad = ctx.trainer.monitor.latest()["conv16"]
     print(f"conv16 activation density after final iteration: {conv16_ad:.3f}")
-    report.rows.append(runner.remove_layer_and_retrain("conv16", epochs=3))
+    report.rows.append(remove_layer_and_retrain(ctx, "conv16", epochs=3))
     print(report.format())
 
     # AD trajectory summary (Fig. 1/3 flavour).
-    monitor = runner.trainer.monitor
+    monitor = ctx.trainer.monitor
     rows = [
         [name, f"{monitor.series(name)[0]:.2f}", f"{monitor.series(name)[-1]:.2f}"]
         for name in monitor.layer_names
@@ -70,9 +55,8 @@ def main():
 
     # PIM-platform energy of the final model (Table V flavour).
     pim = PIMEnergyModel()
-    final_plan = runner.quantizer.plan
-    base = pim.network_energy(profile_model(model, default_bits=16)).total_uj
-    mixed = pim.network_energy(profile_model(model, plan=final_plan)).total_uj
+    base = pim.network_energy(profile_model(ctx.model, default_bits=16)).total_uj
+    mixed = pim.network_energy(ctx.profiles()).total_uj
     print(
         f"\nPIM platform energy: 16-bit {base:.4f} uJ -> mixed {mixed:.4f} uJ "
         f"({base / mixed:.2f}x reduction; paper reports ~5x at full scale)"

@@ -5,6 +5,22 @@ offline environments `python setup.py develop` provides the same
 editable install through setuptools' legacy path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ad-quant",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Activation Density based Mixed-Precision "
+        "Quantization for Energy Efficient Neural Networks' (DATE 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

@@ -4,6 +4,7 @@ From-scratch reproduction of Vasquez, Venkatesha et al., DATE 2021
 (arXiv:2101.04354).  Subpackages:
 
 =============  =========================================================
+`api`          declarative configs, pipeline stages, experiment registry
 `autograd`     numpy reverse-mode autodiff (Tensor, conv2d, grad_check)
 `nn`           layers, optimizers, losses, module system
 `models`       instrumented VGG11/16/19 and ResNet18
@@ -13,17 +14,24 @@ From-scratch reproduction of Vasquez, Venkatesha et al., DATE 2021
 `energy`       analytical energy model (Table I)
 `pim`          functional PIM accelerator + Table IV energy model
 `data`         synthetic CIFAR/TinyImageNet stand-ins, loaders
-`utils`        seeding, checkpoints, table rendering
+`utils`        seeding, checkpoints, JSON/table helpers
+`cli`          the ``repro`` / ``python -m repro`` console entry point
 =============  =========================================================
 
-The most common entry point:
+The most common entry points:
+
+>>> from repro.api import experiments
+>>> report = experiments.build("vgg19-cifar10-quant").run()
+
+or the original imperative harness (a façade over the same pipeline):
 
 >>> from repro.core import ExperimentRunner, QuantizationSchedule
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "autograd",
     "nn",
     "models",

@@ -1,0 +1,68 @@
+"""Declarative experiment API: configs, pipelines, and an experiment registry.
+
+The three layers (see ISSUE 1 / the module docstrings):
+
+1. **Configs** — frozen, validated, JSON round-trippable dataclasses
+   (:class:`ExperimentConfig` and friends) describing an experiment.
+2. **Pipeline** — composable :class:`Stage` objects over a shared
+   :class:`ExperimentContext`, with a callback/hook protocol
+   (``on_iteration_end``, ``on_stage_end``, ...).
+3. **Registry** — :func:`repro.api.experiments.build` resolves named
+   presets (every paper table setup) into ready-to-run experiments.
+
+Quick tour:
+
+>>> from repro.api import experiments
+>>> exp = experiments.build("vgg19-cifar10-quant")
+>>> report = exp.run()
+
+or, fully explicit:
+
+>>> from repro.api import ExperimentConfig, Pipeline, QuantizeStage, build_context
+>>> ctx = build_context(ExperimentConfig(...))
+>>> report = Pipeline([QuantizeStage()]).run(ctx)
+"""
+
+from repro.api import experiments
+from repro.api.config import (
+    DataConfig,
+    EnergyConfig,
+    ExperimentConfig,
+    ModelConfig,
+    PruneConfig,
+    QuantConfig,
+)
+from repro.api.context import ExperimentContext, build_context
+from repro.api.ops import remove_layer_and_retrain
+from repro.api.pipeline import Pipeline, PipelineCallback
+from repro.api.stages import (
+    EnergyReportStage,
+    ExportStage,
+    FinalTuneStage,
+    PIMEvalStage,
+    PruneStage,
+    QuantizeStage,
+    Stage,
+)
+
+__all__ = [
+    "ModelConfig",
+    "DataConfig",
+    "QuantConfig",
+    "PruneConfig",
+    "EnergyConfig",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "build_context",
+    "Pipeline",
+    "PipelineCallback",
+    "Stage",
+    "QuantizeStage",
+    "PruneStage",
+    "FinalTuneStage",
+    "EnergyReportStage",
+    "PIMEvalStage",
+    "ExportStage",
+    "remove_layer_and_retrain",
+    "experiments",
+]

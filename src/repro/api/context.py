@@ -1,0 +1,188 @@
+"""Shared state threaded through a pipeline run.
+
+An :class:`ExperimentContext` owns the live objects one experiment needs
+(model, loaders, trainer, quantizer, optional pruner, energy model) plus
+the mutable run products (report, baseline profiles, eqn.-4 complexity,
+stage artifacts).  Stages read and write the context; the
+:class:`~repro.api.pipeline.Pipeline` prepares it once and emits hooks
+through it.
+
+:func:`build_context` is the declarative entry point: it translates an
+:class:`~repro.api.config.ExperimentConfig` into a ready-to-run context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ad_prune import ADPruner
+from repro.core.ad_quant import ADQuantizer
+from repro.core.complexity import TrainingComplexity
+from repro.core.report import ExperimentReport
+from repro.core.trainer import Trainer
+from repro.energy.analytical import AnalyticalEnergyModel
+from repro.energy.profile import profile_model, trace_geometry
+
+
+@dataclass
+class ExperimentContext:
+    """Everything a :class:`~repro.api.stages.Stage` needs to run."""
+
+    model: object
+    train_loader: object
+    test_loader: object
+    trainer: Trainer
+    quantizer: ADQuantizer
+    input_shape: tuple
+    pruner: ADPruner | None = None
+    fuse_prune: bool = True
+    energy_model: AnalyticalEnergyModel = field(default_factory=AnalyticalEnergyModel)
+    architecture: str = "model"
+    dataset: str = "dataset"
+    baseline_epochs: int | None = None
+    config: object | None = None
+
+    # Run products (populated by prepare() and the stages).
+    report: ExperimentReport | None = None
+    baseline_profiles: list | None = None
+    complexity: TrainingComplexity | None = None
+    artifacts: dict = field(default_factory=dict)
+    stop_requested: bool = False
+    prepared: bool = False
+    _pipeline: object | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self):
+        return self.quantizer.schedule
+
+    def profiles(self):
+        """Energy profiles of the model under the currently-installed plan."""
+        return profile_model(self.model, plan=self.quantizer.plan)
+
+    def prepare(self) -> None:
+        """Trace geometry, install the initial plan, snapshot the baseline.
+
+        Idempotent: chaining several pipelines over one context prepares
+        only once, so later pipelines keep the trained/quantized state.
+        """
+        if self.prepared:
+            return
+        trace_geometry(self.model, self.input_shape)
+        self.quantizer.apply_plan(self.quantizer.initial_plan())
+        self.baseline_profiles = self.profiles()
+        if self.baseline_epochs is None:
+            self.baseline_epochs = 2 * self.schedule.max_epochs_per_iteration
+        self.complexity = TrainingComplexity(self.baseline_epochs)
+        self.report = ExperimentReport(
+            architecture=self.architecture,
+            dataset=self.dataset,
+            layer_names=self.model.layer_handles().names(),
+        )
+        self.prepared = True
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, *args) -> None:
+        """Forward a hook event to the running pipeline's callbacks."""
+        if self._pipeline is not None:
+            self._pipeline.emit(event, *args)
+
+    def request_stop(self) -> None:
+        """Ask the iterating stage to stop after the current iteration."""
+        self.stop_requested = True
+
+
+# ---------------------------------------------------------------------------
+# Config -> live objects
+# ---------------------------------------------------------------------------
+
+def _build_data(config):
+    from repro.data.datasets import DataLoader
+    from repro.data.synthetic import (
+        SyntheticCIFAR10,
+        SyntheticCIFAR100,
+        SyntheticTinyImageNet,
+    )
+
+    factories = {
+        "synthetic-cifar10": SyntheticCIFAR10,
+        "synthetic-cifar100": SyntheticCIFAR100,
+        "synthetic-tinyimagenet": SyntheticTinyImageNet,
+    }
+    data = config.data
+    rng = np.random.default_rng(data.seed)
+    train_set, test_set = factories[data.dataset](
+        train_per_class=data.train_per_class,
+        test_per_class=data.test_per_class,
+        image_size=data.image_size,
+        noise=data.noise,
+        seed=data.seed,
+    )
+    train_loader = DataLoader(
+        train_set, batch_size=data.train_batch_size, shuffle=data.shuffle, rng=rng
+    )
+    test_loader = DataLoader(test_set, batch_size=data.test_batch_size)
+    return train_loader, test_loader
+
+
+def _build_model(config):
+    from repro.models.resnet import resnet18
+    from repro.models.vgg import vgg11, vgg16, vgg19
+
+    model = config.model
+    rng = np.random.default_rng(model.seed)
+    if model.arch == "resnet18":
+        return resnet18(
+            num_classes=model.num_classes,
+            width_multiplier=model.width_multiplier,
+            rng=rng,
+        )
+    factory = {"vgg11": vgg11, "vgg16": vgg16, "vgg19": vgg19}[model.arch]
+    return factory(
+        num_classes=model.num_classes,
+        width_multiplier=model.width_multiplier,
+        image_size=model.image_size,
+        batch_norm=model.batch_norm,
+        rng=rng,
+    )
+
+
+def _build_optimizer(config, model):
+    from repro.nn.optim import SGD, Adam
+
+    if config.optimizer == "adam":
+        return Adam(model.parameters(), lr=config.lr)
+    return SGD(model.parameters(), lr=config.lr, momentum=config.momentum)
+
+
+def build_context(config) -> ExperimentContext:
+    """Translate an :class:`ExperimentConfig` into a ready context."""
+    from repro.nn.loss import CrossEntropyLoss
+
+    train_loader, test_loader = _build_data(config)
+    model = _build_model(config)
+    trainer = Trainer(model, _build_optimizer(config, model), CrossEntropyLoss())
+    quantizer = ADQuantizer(
+        trainer, config.quant.to_schedule(), config.quant.to_saturation()
+    )
+    pruner = (
+        ADPruner(model.layer_handles(), min_channels=config.prune.min_channels)
+        if config.prune.enabled
+        else None
+    )
+    return ExperimentContext(
+        model=model,
+        train_loader=train_loader,
+        test_loader=test_loader,
+        trainer=trainer,
+        quantizer=quantizer,
+        pruner=pruner,
+        fuse_prune=config.prune.fused,
+        input_shape=config.input_shape,
+        architecture=config.architecture,
+        dataset=config.dataset,
+        baseline_epochs=config.quant.baseline_epochs,
+        config=config,
+    )

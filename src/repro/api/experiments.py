@@ -1,0 +1,244 @@
+"""Experiment registry: every paper table/figure setup as a named preset.
+
+``build("vgg19-cifar10-quant")`` returns a ready-to-run
+:class:`Experiment` — a config, a freshly-built context, and the default
+pipeline for that config.  Presets carry the CPU-scale hyper-parameters
+the repository's benchmarks use (paper topologies at reduced width and
+resolution; see ``benchmarks/common.py``), so benchmark tables, the CLI,
+and user scripts all resolve to identical runs.
+
+Overrides nest like the config itself::
+
+    build("vgg19-cifar10-quant", quant={"max_iterations": 2}, lr=1e-3)
+"""
+
+from __future__ import annotations
+
+from repro.api.config import (
+    DataConfig,
+    EnergyConfig,
+    ExperimentConfig,
+    ModelConfig,
+    PruneConfig,
+    QuantConfig,
+)
+from repro.api.context import build_context
+from repro.api.pipeline import Pipeline
+from repro.api.stages import (
+    EnergyReportStage,
+    FinalTuneStage,
+    PIMEvalStage,
+    PruneStage,
+    QuantizeStage,
+)
+
+_REGISTRY: dict[str, ExperimentConfig] = {}
+
+
+def register(config: ExperimentConfig) -> ExperimentConfig:
+    """Add a preset to the registry (name collisions are errors)."""
+    if config.name in _REGISTRY:
+        raise ValueError(f"preset {config.name!r} already registered")
+    _REGISTRY[config.name] = config
+    return config
+
+
+def names() -> list[str]:
+    """All registered preset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_config(name: str) -> ExperimentConfig:
+    """Look up a preset's config (without building anything)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(names())}"
+        ) from None
+
+
+def default_pipeline(config: ExperimentConfig) -> Pipeline:
+    """The canonical stage list implied by a config."""
+    stages = [QuantizeStage()]
+    if config.prune.enabled and not config.prune.fused:
+        stages.append(PruneStage(retrain_epochs=config.prune.retrain_epochs))
+    if config.quant.final_epochs > 0:
+        stages.append(FinalTuneStage())
+    if config.energy.analytical:
+        stages.append(EnergyReportStage())
+    if config.energy.pim:
+        stages.append(PIMEvalStage())
+    return Pipeline(stages)
+
+
+class Experiment:
+    """A config bound to its context and pipeline; run() yields the report."""
+
+    def __init__(self, config: ExperimentConfig, pipeline: Pipeline | None = None):
+        self.config = config
+        self.pipeline = pipeline or default_pipeline(config)
+        self.context = build_context(config)
+
+    def run(self, callbacks=()):
+        """Run the pipeline; ``callbacks`` attach for this run only
+        (use ``pipeline.add_callback`` for permanent observers).
+
+        Each call restarts the experiment — fresh report, baseline and
+        complexity state — while trained weights persist on the model
+        (same contract as ``ExperimentRunner.run``).
+        """
+        self.context.prepared = False
+        persistent = list(self.pipeline.callbacks)
+        self.pipeline.callbacks = persistent + list(callbacks)
+        try:
+            return self.pipeline.run(self.context)
+        finally:
+            self.pipeline.callbacks = persistent
+
+    # Convenience accessors mirroring the old runner attributes.
+    @property
+    def model(self):
+        return self.context.model
+
+    @property
+    def trainer(self):
+        return self.context.trainer
+
+    @property
+    def quantizer(self):
+        return self.context.quantizer
+
+    @property
+    def report(self):
+        return self.context.report
+
+    @property
+    def artifacts(self):
+        return self.context.artifacts
+
+
+def build(name: str, **overrides) -> Experiment:
+    """Resolve a preset (with optional nested overrides) into an Experiment."""
+    config = get_config(name)
+    if overrides:
+        config = config.evolve(**overrides)
+    return Experiment(config)
+
+
+# ---------------------------------------------------------------------------
+# Presets — paper tables/figures at the repository's benchmark scale.
+# ---------------------------------------------------------------------------
+
+register(ExperimentConfig(
+    name="quickstart-vgg11",
+    architecture="VGG11",
+    dataset="SyntheticCIFAR10",
+    description="README quickstart: VGG11, Algorithm 1 only, ~1 minute on CPU.",
+    model=ModelConfig(arch="vgg11", num_classes=10, width_multiplier=0.25,
+                      image_size=16, seed=0),
+    data=DataConfig(dataset="synthetic-cifar10", train_per_class=24,
+                    test_per_class=8, image_size=16, noise=0.6, seed=0,
+                    train_batch_size=30, test_batch_size=80),
+    quant=QuantConfig(max_iterations=3, max_epochs_per_iteration=10,
+                      min_epochs_per_iteration=5, saturation_window=3,
+                      saturation_tolerance=0.04),
+))
+
+register(ExperimentConfig(
+    name="vgg19-cifar10-quant",
+    architecture="VGG19",
+    dataset="SyntheticCIFAR10",
+    description="Table II(a): AD quantization, VGG19 on CIFAR-10.",
+    tables=("Table II(a)", "Fig. 1", "Fig. 3"),
+    model=ModelConfig(arch="vgg19", num_classes=10, width_multiplier=0.125,
+                      image_size=16, seed=0),
+    data=DataConfig(dataset="synthetic-cifar10", train_per_class=24,
+                    test_per_class=8, image_size=16, noise=0.8, seed=0,
+                    train_batch_size=25, test_batch_size=50),
+    quant=QuantConfig(max_iterations=3, max_epochs_per_iteration=12,
+                      min_epochs_per_iteration=6, saturation_window=3,
+                      saturation_tolerance=0.04),
+))
+
+register(ExperimentConfig(
+    name="resnet18-cifar100-quant",
+    architecture="ResNet18",
+    dataset="SyntheticCIFAR100",
+    description="Table II(b): AD quantization, ResNet18 on CIFAR-100.",
+    tables=("Table II(b)", "Fig. 2"),
+    model=ModelConfig(arch="resnet18", num_classes=100, width_multiplier=0.125,
+                      seed=1),
+    data=DataConfig(dataset="synthetic-cifar100", train_per_class=8,
+                    test_per_class=3, image_size=16, noise=0.6, seed=1,
+                    train_batch_size=40, test_batch_size=50),
+    quant=QuantConfig(max_iterations=3, max_epochs_per_iteration=8,
+                      min_epochs_per_iteration=4, saturation_window=3,
+                      saturation_tolerance=0.04),
+))
+
+register(ExperimentConfig(
+    name="resnet18-tinyimagenet-quant",
+    architecture="ResNet18",
+    dataset="SyntheticTinyImageNet",
+    description="Table II(c): 32-bit start, ResNet18 on TinyImageNet.",
+    tables=("Table II(c)",),
+    model=ModelConfig(arch="resnet18", num_classes=200, width_multiplier=0.125,
+                      seed=2),
+    data=DataConfig(dataset="synthetic-tinyimagenet", train_per_class=2,
+                    test_per_class=1, image_size=16, noise=0.8, seed=2,
+                    train_batch_size=40, test_batch_size=50),
+    quant=QuantConfig(initial_bits=32, max_iterations=4,
+                      max_epochs_per_iteration=6, min_epochs_per_iteration=3,
+                      saturation_window=3, saturation_tolerance=0.04),
+))
+
+register(ExperimentConfig(
+    name="vgg19-cifar10-quant-prune",
+    architecture="VGG19 (quant+prune)",
+    dataset="SyntheticCIFAR10",
+    description="Table III(a): fused AD quantization + eqn.-5 pruning, VGG19.",
+    tables=("Table III(a)",),
+    model=ModelConfig(arch="vgg19", num_classes=10, width_multiplier=0.125,
+                      image_size=16, seed=3),
+    data=DataConfig(dataset="synthetic-cifar10", train_per_class=24,
+                    test_per_class=8, image_size=16, noise=0.8, seed=0,
+                    train_batch_size=25, test_batch_size=50),
+    quant=QuantConfig(max_iterations=2, max_epochs_per_iteration=10,
+                      min_epochs_per_iteration=5, saturation_window=3,
+                      saturation_tolerance=0.04),
+    prune=PruneConfig(enabled=True, fused=True),
+))
+
+register(ExperimentConfig(
+    name="resnet18-cifar100-quant-prune",
+    architecture="ResNet18 (quant+prune)",
+    dataset="SyntheticCIFAR100",
+    description="Table III(b): fused AD quantization + eqn.-5 pruning, ResNet18.",
+    tables=("Table III(b)",),
+    model=ModelConfig(arch="resnet18", num_classes=100, width_multiplier=0.125,
+                      seed=4),
+    data=DataConfig(dataset="synthetic-cifar100", train_per_class=8,
+                    test_per_class=3, image_size=16, noise=0.6, seed=1,
+                    train_batch_size=40, test_batch_size=50),
+    quant=QuantConfig(max_iterations=3, max_epochs_per_iteration=6,
+                      min_epochs_per_iteration=3, saturation_window=3,
+                      saturation_tolerance=0.04),
+    prune=PruneConfig(enabled=True, fused=True),
+))
+
+register(ExperimentConfig(
+    name="vgg11-micro-smoke",
+    architecture="VGG11 (micro)",
+    dataset="SyntheticCIFAR10",
+    description="Seconds-scale smoke preset for CI and CLI checks.",
+    model=ModelConfig(arch="vgg11", num_classes=10, width_multiplier=0.0625,
+                      image_size=8, seed=0),
+    data=DataConfig(dataset="synthetic-cifar10", train_per_class=4,
+                    test_per_class=2, image_size=8, seed=0,
+                    train_batch_size=20, test_batch_size=20),
+    quant=QuantConfig(max_iterations=2, max_epochs_per_iteration=2,
+                      min_epochs_per_iteration=1, saturation_window=2,
+                      saturation_tolerance=0.5),
+    energy=EnergyConfig(analytical=True, pim=True),
+))

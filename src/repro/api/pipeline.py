@@ -1,0 +1,93 @@
+"""The pipeline: an ordered list of stages plus a hook protocol.
+
+A :class:`Pipeline` prepares the shared context once (geometry trace,
+initial plan, baseline energy snapshot) and then runs its stages in
+order.  Observers attach as :class:`PipelineCallback` objects; hooks
+fire through the context so stages stay decoupled from the callback
+list:
+
+* ``on_pipeline_start(ctx)`` / ``on_pipeline_end(ctx, report)``
+* ``on_stage_start(ctx, stage)`` / ``on_stage_end(ctx, stage)``
+* ``on_iteration_end(ctx, row)`` — after every Table-row append inside
+  an iterating stage; calling ``ctx.request_stop()`` here implements an
+  early-stop policy without subclassing any stage.
+"""
+
+from __future__ import annotations
+
+from repro.api.context import ExperimentContext, build_context
+from repro.api.stages import Stage
+from repro.core.report import ExperimentReport
+
+HOOK_NAMES = (
+    "on_pipeline_start",
+    "on_pipeline_end",
+    "on_stage_start",
+    "on_stage_end",
+    "on_iteration_end",
+)
+
+
+class PipelineCallback:
+    """No-op base class; override any subset of the hook methods."""
+
+    def on_pipeline_start(self, ctx) -> None:
+        pass
+
+    def on_pipeline_end(self, ctx, report) -> None:
+        pass
+
+    def on_stage_start(self, ctx, stage) -> None:
+        pass
+
+    def on_stage_end(self, ctx, stage) -> None:
+        pass
+
+    def on_iteration_end(self, ctx, row) -> None:
+        pass
+
+
+class Pipeline:
+    """Ordered, observable composition of :class:`Stage` objects."""
+
+    def __init__(self, stages, callbacks=()):
+        stages = list(stages)
+        for stage in stages:
+            if not isinstance(stage, Stage):
+                raise TypeError(f"not a Stage: {stage!r}")
+        self.stages = stages
+        self.callbacks = list(callbacks)
+
+    def add_callback(self, callback) -> "Pipeline":
+        self.callbacks.append(callback)
+        return self
+
+    def emit(self, event: str, *args) -> None:
+        """Dispatch one hook event to every callback that implements it."""
+        if event not in HOOK_NAMES:
+            raise ValueError(f"unknown hook {event!r}")
+        for callback in self.callbacks:
+            handler = getattr(callback, event, None)
+            if handler is not None:
+                handler(*args)
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: ExperimentContext) -> ExperimentReport:
+        """Prepare the context (once) and run every stage in order."""
+        ctx._pipeline = self
+        ctx.stop_requested = False  # a stop only applies to the run that requested it
+        try:
+            ctx.prepare()
+            self.emit("on_pipeline_start", ctx)
+            for stage in self.stages:
+                self.emit("on_stage_start", ctx, stage)
+                stage.run(ctx)
+                self.emit("on_stage_end", ctx, stage)
+            self.emit("on_pipeline_end", ctx, ctx.report)
+            return ctx.report
+        finally:
+            ctx._pipeline = None
+
+    def run_config(self, config) -> ExperimentReport:
+        """Convenience: build a fresh context from ``config`` and run."""
+        return self.run(build_context(config))

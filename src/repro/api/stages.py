@@ -1,0 +1,227 @@
+"""Composable pipeline stages.
+
+Each stage is one phase of the paper's workflow, operating on a shared
+:class:`~repro.api.context.ExperimentContext`:
+
+* :class:`QuantizeStage` — the Algorithm-1 iteration loop (train until
+  AD saturates, report a Table II row, re-quantize via eqn. 3); when the
+  context carries a fused pruner, each re-quantization step also applies
+  eqn.-5 channel pruning from the same AD snapshot (Table III).
+* :class:`PruneStage` — a standalone eqn.-5 pruning step (post-hoc, for
+  unfused pipelines) with optional retraining.
+* :class:`FinalTuneStage` — extra training epochs folded into the last
+  reported row (the schedule's ``final_epochs`` behaviour).
+* :class:`EnergyReportStage` / :class:`PIMEvalStage` — analytical
+  (Table I) and PIM-platform (Tables IV-VI) energy accounting attached
+  to ``ctx.artifacts``.
+* :class:`ExportStage` — persist the report (and artifacts) to disk.
+
+Stages never construct models or loaders; that is
+:func:`~repro.api.context.build_context`'s job.  The iteration hook
+``on_iteration_end`` fires after every Table-row append, so sweeps,
+loggers, and early-stop policies plug in without subclassing (a callback
+may call :meth:`ExperimentContext.request_stop`).
+"""
+
+from __future__ import annotations
+
+from repro.core.ad_prune import ADPruner
+from repro.core.export import report_to_dict, save_report_csv
+from repro.core.report import TableRow
+from repro.energy.analytical import energy_efficiency
+from repro.energy.profile import profile_model
+from repro.utils.serialization import save_json
+
+
+def make_table_row(ctx, iteration: int, epochs: int, first_row: bool) -> TableRow:
+    """Compute one Table II/III row from the context's current state."""
+    profiles = ctx.profiles()
+    row = TableRow(
+        iteration=iteration,
+        bit_widths=ctx.quantizer.plan.bit_widths(),
+        test_accuracy=ctx.trainer.evaluate(ctx.test_loader),
+        total_ad=ctx.trainer.monitor.total_density(),
+        energy_efficiency=energy_efficiency(ctx.baseline_profiles, profiles),
+        epochs=epochs,
+        train_complexity=1.0 if first_row else ctx.complexity.relative(),
+    )
+    if ctx.pruner is not None:
+        row.channel_counts = [
+            h.active_channels() for h in ctx.pruner.prunable_handles()
+        ]
+    return row
+
+
+class Stage:
+    """One pipeline phase; subclasses implement :meth:`run`."""
+
+    name = "stage"
+
+    def run(self, ctx) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class QuantizeStage(Stage):
+    """Algorithm 1: train-until-saturation / re-quantize iterations."""
+
+    name = "quantize"
+
+    def run(self, ctx) -> None:
+        quantizer = ctx.quantizer
+        schedule = quantizer.schedule
+        for iteration in range(1, schedule.max_iterations + 1):
+            epochs, _ = quantizer.train_until_saturation(ctx.train_loader)
+            densities = ctx.trainer.monitor.latest()
+            profiles = ctx.profiles()
+            ctx.complexity.add_iteration(
+                ctx.energy_model.mac_reduction(ctx.baseline_profiles, profiles),
+                epochs,
+            )
+            row = make_table_row(ctx, iteration, epochs, first_row=iteration == 1)
+            ctx.report.rows.append(row)
+            ctx.emit("on_iteration_end", ctx, row)
+            if ctx.stop_requested or iteration == schedule.max_iterations:
+                break  # do not install a plan that will never be trained
+            new_plan = quantizer.update_plan(densities)
+            bits_changed = new_plan.bit_widths() != quantizer.plan.bit_widths()
+            channels_changed = False
+            if ctx.pruner is not None and ctx.fuse_prune:
+                before = ctx.pruner.current_plan()
+                after = ctx.pruner.prune_step(densities)
+                channels_changed = any(
+                    after[name] != before[name] for name in before.channels
+                )
+            if not bits_changed and not channels_changed:
+                break
+            if bits_changed:
+                quantizer.apply_plan(new_plan)
+
+
+class PruneStage(Stage):
+    """One standalone eqn.-5 pruning step from the latest AD snapshot."""
+
+    name = "prune"
+
+    def __init__(self, retrain_epochs: int = 0, label: str = "prune"):
+        if retrain_epochs < 0:
+            raise ValueError("retrain_epochs must be >= 0")
+        self.retrain_epochs = retrain_epochs
+        self.label = label
+
+    def run(self, ctx) -> None:
+        if ctx.pruner is None:
+            min_channels = (
+                ctx.config.prune.min_channels if ctx.config is not None else 1
+            )
+            ctx.pruner = ADPruner(ctx.model.layer_handles(), min_channels=min_channels)
+        if ctx.trainer.monitor.num_epochs:
+            densities = ctx.trainer.monitor.latest()
+        else:
+            densities = ctx.trainer.measure_density(ctx.train_loader)
+        ctx.pruner.prune_step(densities)
+        epochs = self.retrain_epochs
+        if epochs:
+            ctx.trainer.fit(ctx.train_loader, epochs)
+            ctx.complexity.add_iteration(
+                ctx.energy_model.mac_reduction(ctx.baseline_profiles, ctx.profiles()),
+                epochs,
+            )
+        last_iter = ctx.report.rows[-1].iteration if ctx.report.rows else 0
+        row = make_table_row(ctx, last_iter + 1, epochs, first_row=False)
+        row.label = self.label
+        ctx.report.rows.append(row)
+        ctx.emit("on_iteration_end", ctx, row)
+
+
+class FinalTuneStage(Stage):
+    """Extra training at the final precision, folded into the last row."""
+
+    name = "final-tune"
+
+    def __init__(self, epochs: int | None = None):
+        self.epochs = epochs
+
+    def run(self, ctx) -> None:
+        epochs = self.epochs if self.epochs is not None else ctx.schedule.final_epochs
+        if epochs <= 0:
+            return
+        ctx.trainer.fit(ctx.train_loader, epochs)
+        if not ctx.report.rows:
+            return
+        last = ctx.report.rows[-1]
+        last.epochs += epochs
+        last.test_accuracy = ctx.trainer.evaluate(ctx.test_loader)
+        last.total_ad = ctx.trainer.monitor.total_density()
+
+
+class EnergyReportStage(Stage):
+    """Analytical (Table I) energy summary -> ``ctx.artifacts``."""
+
+    name = "energy-report"
+
+    def run(self, ctx) -> None:
+        baseline = ctx.energy_model.network_energy(ctx.baseline_profiles)
+        current = ctx.energy_model.network_energy(ctx.profiles())
+        ctx.artifacts["analytical_energy"] = {
+            "baseline_total_pj": baseline.total_pj,
+            "model_total_pj": current.total_pj,
+            "model_mac_pj": current.mac_pj,
+            "model_mem_pj": current.mem_pj,
+            "efficiency": baseline.total_pj / current.total_pj,
+            "per_layer_pj": dict(current.per_layer_pj),
+        }
+
+
+class PIMEvalStage(Stage):
+    """PIM-platform (Table IV/V/VI) energy summary -> ``ctx.artifacts``."""
+
+    name = "pim-eval"
+
+    def __init__(self, baseline_bits: int | None = None):
+        self.baseline_bits = baseline_bits
+
+    def run(self, ctx) -> None:
+        from repro.pim.energy_model import PIMEnergyModel
+
+        bits = self.baseline_bits
+        if bits is None:
+            bits = (
+                ctx.config.energy.baseline_bits if ctx.config is not None else 16
+            )
+        pim = PIMEnergyModel()
+        full = pim.network_energy(profile_model(ctx.model, default_bits=bits))
+        mixed = pim.network_energy(ctx.profiles())
+        ctx.artifacts["pim_energy"] = {
+            "baseline_bits": bits,
+            "full_precision_uj": full.total_uj,
+            "mixed_precision_uj": mixed.total_uj,
+            "reduction": full.total_uj / mixed.total_uj,
+        }
+
+
+class ExportStage(Stage):
+    """Write the report (JSON with config/artifacts, or CSV) to disk."""
+
+    name = "export"
+
+    def __init__(self, path, format: str = "json", include_metadata: bool = True):
+        if format not in ("json", "csv"):
+            raise ValueError(f"unknown export format {format!r}")
+        self.path = path
+        self.format = format
+        self.include_metadata = include_metadata
+
+    def run(self, ctx) -> None:
+        if self.format == "csv":
+            save_report_csv(ctx.report, self.path)
+        else:
+            payload = {"report": report_to_dict(ctx.report)}
+            if self.include_metadata:
+                if ctx.config is not None:
+                    payload["config"] = ctx.config.to_dict()
+                payload["artifacts"] = ctx.artifacts
+            save_json(self.path, payload)
+        ctx.artifacts.setdefault("exports", []).append(str(self.path))

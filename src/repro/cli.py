@@ -1,0 +1,188 @@
+"""``repro`` console entry point: headless experiment runs.
+
+Usage::
+
+    python -m repro run --preset vgg19-cifar10-quant --out report.json
+    python -m repro run --config my_experiment.json --out report.json
+    python -m repro presets [--verbose]
+    python -m repro show --preset vgg19-cifar10-quant
+
+``run`` resolves a registry preset (or a JSON config file), executes the
+default pipeline for that config plus an :class:`ExportStage`, and
+writes a JSON (or CSV) report.  Common schedule knobs are overridable
+from the command line so sweeps don't need one config file per point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import ExportStage, PipelineCallback, experiments
+from repro.api.config import ExperimentConfig
+
+
+class CLIError(Exception):
+    """A user-input problem (bad preset/config/override), not a bug."""
+
+
+class _ProgressCallback(PipelineCallback):
+    """Human-readable progress on stderr (silenced by --quiet)."""
+
+    def __init__(self, stream):
+        self.stream = stream
+        self._t0 = time.time()
+
+    def _log(self, message: str) -> None:
+        elapsed = time.time() - self._t0
+        print(f"[repro +{elapsed:7.1f}s] {message}", file=self.stream)
+
+    def on_pipeline_start(self, ctx):
+        self._log(
+            f"running {ctx.architecture} on {ctx.dataset} "
+            f"({len(ctx.model.layer_handles())} layers)"
+        )
+
+    def on_iteration_end(self, ctx, row):
+        label = row.label or f"iteration {row.iteration}"
+        self._log(
+            f"{label}: acc {row.test_accuracy * 100:.2f}%, "
+            f"AD {row.total_ad:.3f}, eff {row.energy_efficiency:.2f}x, "
+            f"{row.epochs} epochs"
+        )
+
+    def on_stage_end(self, ctx, stage):
+        self._log(f"stage '{stage.name}' done")
+
+
+def _schedule_overrides(args) -> dict:
+    quant = {}
+    for field, attr in [
+        ("max_iterations", "max_iterations"),
+        ("max_epochs_per_iteration", "max_epochs"),
+        ("min_epochs_per_iteration", "min_epochs"),
+        ("initial_bits", "initial_bits"),
+        ("final_epochs", "final_epochs"),
+    ]:
+        value = getattr(args, attr)
+        if value is not None:
+            quant[field] = value
+    overrides = {}
+    if quant:
+        overrides["quant"] = quant
+    if args.seed is not None:
+        overrides["model"] = {"seed": args.seed}
+        overrides["data"] = {"seed": args.seed}
+    return overrides
+
+
+def _resolve_config(args) -> ExperimentConfig:
+    # Resolution failures are user input problems -> clean CLI errors;
+    # anything raised later (during the run) keeps its traceback.
+    try:
+        if args.config:
+            config = ExperimentConfig.from_json(args.config)
+        else:
+            config = experiments.get_config(args.preset)
+        overrides = _schedule_overrides(args)
+        if overrides:
+            config = config.evolve(**overrides)
+        return config
+    except (KeyError, TypeError, ValueError, FileNotFoundError) as error:
+        message = (
+            error.args[0]
+            if error.args and isinstance(error.args[0], str)
+            else str(error)
+        )
+        raise CLIError(message) from error
+
+
+def _cmd_run(args) -> int:
+    config = _resolve_config(args)
+    experiment = experiments.Experiment(config)
+    if args.out:
+        experiment.pipeline.stages.append(ExportStage(args.out, format=args.format))
+    callbacks = [] if args.quiet else [_ProgressCallback(sys.stderr)]
+    report = experiment.run(callbacks=callbacks)
+    if not args.quiet:
+        print(report.format())
+        if args.out:
+            print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_presets(args) -> int:
+    for name in experiments.names():
+        config = experiments.get_config(name)
+        if args.verbose:
+            tables = ", ".join(config.tables) if config.tables else "-"
+            print(f"{name:32s} {tables:28s} {config.description}")
+        else:
+            print(name)
+    return 0
+
+
+def _cmd_show(args) -> int:
+    config = _resolve_config(args)
+    import json
+
+    print(json.dumps(config.to_dict(), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Activation-density mixed-precision quantization experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment and export a report")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", help="registry preset name (see `repro presets`)")
+    source.add_argument("--config", help="path to an ExperimentConfig JSON file")
+    run.add_argument("--out", help="report output path")
+    run.add_argument("--format", choices=("json", "csv"), default="json")
+    run.add_argument("--seed", type=int, help="override both model and data seeds")
+    run.add_argument("--max-iterations", type=int, dest="max_iterations")
+    run.add_argument("--max-epochs", type=int, dest="max_epochs",
+                     help="override max_epochs_per_iteration")
+    run.add_argument("--min-epochs", type=int, dest="min_epochs",
+                     help="override min_epochs_per_iteration")
+    run.add_argument("--initial-bits", type=int, dest="initial_bits")
+    run.add_argument("--final-epochs", type=int, dest="final_epochs")
+    run.add_argument("--quiet", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    presets = sub.add_parser("presets", help="list registered presets")
+    presets.add_argument("--verbose", action="store_true",
+                         help="include paper-table mapping and descriptions")
+    presets.set_defaults(func=_cmd_presets)
+
+    show = sub.add_parser("show", help="print a preset/config as JSON")
+    show_source = show.add_mutually_exclusive_group(required=True)
+    show_source.add_argument("--preset")
+    show_source.add_argument("--config")
+    show.add_argument("--seed", type=int)
+    show.add_argument("--max-iterations", type=int, dest="max_iterations")
+    show.add_argument("--max-epochs", type=int, dest="max_epochs")
+    show.add_argument("--min-epochs", type=int, dest="min_epochs")
+    show.add_argument("--initial-bits", type=int, dest="initial_bits")
+    show.add_argument("--final-epochs", type=int, dest="final_epochs")
+    show.set_defaults(func=_cmd_show)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except CLIError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ follower mechanism (Fig. 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.trainer import Trainer
 from repro.density import SaturationDetector
@@ -148,13 +148,18 @@ class ADQuantizer:
     # ------------------------------------------------------------------
     # Training phases
     # ------------------------------------------------------------------
-    def _train_until_saturation(self, loader) -> tuple[int, float]:
+    def train_until_saturation(self, loader) -> tuple[int, float]:
         """Train epochs until every layer's AD saturates (or the cap).
 
         Returns (epochs trained this iteration, last train accuracy).
         Saturation is judged on the AD history *within this iteration*,
         so a plateau inherited from the previous precision does not
         spuriously trigger an immediate re-quantization.
+
+        This is the inner "for epoch = 1 to #(epochs)" phase of
+        Algorithm 1, exposed publicly so experiment harnesses can drive
+        the iteration loop themselves (the plan bookkeeping stays with
+        :meth:`update_plan` / :meth:`apply_plan`).
         """
         iteration_history: dict[str, list[float]] = {
             name: [] for name in self.registry.names()
@@ -174,11 +179,23 @@ class ADQuantizer:
                 break
         return epochs, accuracy
 
+    def _train_until_saturation(self, loader) -> tuple[int, float]:
+        """Deprecated alias of :meth:`train_until_saturation`."""
+        import warnings
+
+        warnings.warn(
+            "ADQuantizer._train_until_saturation is deprecated; use the "
+            "public train_until_saturation instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.train_until_saturation(loader)
+
     def run(self, train_loader, test_loader=None) -> list[IterationRecord]:
         """Execute Algorithm 1 end to end; returns per-iteration records."""
         self.apply_plan(self.initial_plan())
         for iteration in range(1, self.schedule.max_iterations + 1):
-            epochs, accuracy = self._train_until_saturation(train_loader)
+            epochs, accuracy = self.train_until_saturation(train_loader)
             densities = self.trainer.monitor.latest()
             total_density = self.trainer.monitor.total_density()
             record = IterationRecord(

@@ -11,7 +11,7 @@ import csv
 import json
 from pathlib import Path
 
-from repro.core.runner import ExperimentReport, TableRow
+from repro.core.report import ExperimentReport, TableRow
 
 
 def report_to_dict(report: ExperimentReport) -> dict:

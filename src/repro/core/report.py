@@ -1,0 +1,61 @@
+"""Report dataclasses: the rows of the paper's Tables II / III.
+
+Kept free of training/pipeline imports so that both the low-level
+:mod:`repro.core` machinery and the declarative :mod:`repro.api` layer
+can share them without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class TableRow:
+    """One row of a Table II/III-shaped report."""
+
+    iteration: int
+    bit_widths: list[int]
+    test_accuracy: float
+    total_ad: float
+    energy_efficiency: float
+    epochs: int
+    train_complexity: float
+    channel_counts: list[int] | None = None
+    label: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """All rows of one experiment plus naming metadata."""
+
+    architecture: str
+    dataset: str
+    layer_names: list[str]
+    rows: list[TableRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Monospace rendering in the paper's column order."""
+        headers = ["Iter", "Bit-widths", "Test Acc", "Total AD",
+                   "Energy Eff", "Epochs", "Train Compl"]
+        include_channels = any(r.channel_counts is not None for r in self.rows)
+        if include_channels:
+            headers.insert(2, "nChannels")
+        table_rows = []
+        for row in self.rows:
+            cells = [
+                row.label or str(row.iteration),
+                str(row.bit_widths),
+                f"{row.test_accuracy * 100:.2f}%",
+                f"{row.total_ad:.3f}",
+                f"{row.energy_efficiency:.2f}x",
+                str(row.epochs),
+                f"{row.train_complexity:.3f}x",
+            ]
+            if include_channels:
+                cells.insert(2, str(row.channel_counts or "-"))
+            table_rows.append(cells)
+        title = f"{self.architecture} on {self.dataset}"
+        return format_table(headers, table_rows, title=title)

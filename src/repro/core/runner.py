@@ -1,8 +1,10 @@
 """End-to-end experiment harness producing Tables II / III rows.
 
-The :class:`ExperimentRunner` drives Algorithm 1 (optionally fused with
-AD-based channel pruning, as in Table III), and after every iteration
-computes the paper's reported columns:
+The :class:`ExperimentRunner` is the repository's original entry point,
+kept backward-compatible as a thin façade over the declarative pipeline
+API (:mod:`repro.api`).  It still drives Algorithm 1 (optionally fused
+with AD-based channel pruning, as in Table III), and after every
+iteration reports the paper's columns:
 
 * the layer-wise bit-width vector (and channel counts when pruning),
 * test accuracy,
@@ -13,73 +15,25 @@ computes the paper's reported columns:
 
 Row 1 is the full-precision baseline by construction: its plan *is* the
 reference plan, so its energy efficiency is exactly 1x.
+
+New code should prefer the pipeline API directly::
+
+    from repro.api import experiments
+    report = experiments.build("vgg19-cifar10-quant").run()
+
+The report dataclasses (:class:`TableRow`, :class:`ExperimentReport`)
+live in :mod:`repro.core.report` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.core.ad_prune import ADPruner
 from repro.core.ad_quant import ADQuantizer, QuantizationSchedule
-from repro.core.complexity import TrainingComplexity
+from repro.core.report import ExperimentReport, TableRow
 from repro.core.trainer import Trainer
 from repro.density import SaturationDetector
-from repro.energy import (
-    AnalyticalEnergyModel,
-    energy_efficiency,
-    profile_model,
-    trace_geometry,
-)
-from repro.utils.tables import format_table
 
-
-@dataclass
-class TableRow:
-    """One row of a Table II/III-shaped report."""
-
-    iteration: int
-    bit_widths: list[int]
-    test_accuracy: float
-    total_ad: float
-    energy_efficiency: float
-    epochs: int
-    train_complexity: float
-    channel_counts: list[int] | None = None
-    label: str = ""
-
-
-@dataclass
-class ExperimentReport:
-    """All rows of one experiment plus naming metadata."""
-
-    architecture: str
-    dataset: str
-    layer_names: list[str]
-    rows: list[TableRow] = field(default_factory=list)
-
-    def format(self) -> str:
-        """Monospace rendering in the paper's column order."""
-        headers = ["Iter", "Bit-widths", "Test Acc", "Total AD",
-                   "Energy Eff", "Epochs", "Train Compl"]
-        include_channels = any(r.channel_counts is not None for r in self.rows)
-        if include_channels:
-            headers.insert(2, "nChannels")
-        table_rows = []
-        for row in self.rows:
-            cells = [
-                row.label or str(row.iteration),
-                str(row.bit_widths),
-                f"{row.test_accuracy * 100:.2f}%",
-                f"{row.total_ad:.3f}",
-                f"{row.energy_efficiency:.2f}x",
-                str(row.epochs),
-                f"{row.train_complexity:.3f}x",
-            ]
-            if include_channels:
-                cells.insert(2, str(row.channel_counts or "-"))
-            table_rows.append(cells)
-        title = f"{self.architecture} on {self.dataset}"
-        return format_table(headers, table_rows, title=title)
+__all__ = ["ExperimentRunner", "ExperimentReport", "TableRow"]
 
 
 class ExperimentRunner:
@@ -120,101 +74,108 @@ class ExperimentRunner:
         architecture: str = "model",
         dataset: str = "dataset",
     ):
-        self.model = model
-        self.train_loader = train_loader
-        self.test_loader = test_loader
-        self.schedule = schedule or QuantizationSchedule()
-        self.trainer = Trainer(model, optimizer, loss_fn)
-        self.quantizer = ADQuantizer(self.trainer, self.schedule, saturation)
-        self.pruner = ADPruner(model.layer_handles()) if prune else None
-        self.input_shape = tuple(input_shape)
-        self.baseline_epochs = (
-            baseline_epochs
-            if baseline_epochs is not None
-            else 2 * self.schedule.max_epochs_per_iteration
+        # Imported lazily: repro.api depends on repro.core submodules, so
+        # a module-level import here would be circular.
+        from repro.api.context import ExperimentContext
+
+        schedule = schedule or QuantizationSchedule()
+        trainer = Trainer(model, optimizer, loss_fn)
+        quantizer = ADQuantizer(trainer, schedule, saturation)
+        self.ctx = ExperimentContext(
+            model=model,
+            train_loader=train_loader,
+            test_loader=test_loader,
+            trainer=trainer,
+            quantizer=quantizer,
+            pruner=ADPruner(model.layer_handles()) if prune else None,
+            input_shape=tuple(input_shape),
+            architecture=architecture,
+            dataset=dataset,
+            baseline_epochs=(
+                baseline_epochs
+                if baseline_epochs is not None
+                else 2 * schedule.max_epochs_per_iteration
+            ),
         )
-        self.architecture = architecture
-        self.dataset = dataset
-        self.energy_model = AnalyticalEnergyModel()
-        self._baseline_profiles = None
-        self._complexity: TrainingComplexity | None = None
 
     # ------------------------------------------------------------------
-    def _profiles(self):
-        return profile_model(self.model, plan=self.quantizer.plan)
+    # Backward-compatible surface (all state lives on the context).
+    # ------------------------------------------------------------------
+    @property
+    def model(self):
+        return self.ctx.model
 
-    def _make_row(
-        self,
-        iteration: int,
-        epochs: int,
-        complexity: TrainingComplexity,
-        first_row: bool,
-    ) -> TableRow:
-        profiles = self._profiles()
-        efficiency = energy_efficiency(self._baseline_profiles, profiles)
-        test_accuracy = self.trainer.evaluate(self.test_loader)
-        total_ad = self.trainer.monitor.total_density()
-        row = TableRow(
-            iteration=iteration,
-            bit_widths=self.quantizer.plan.bit_widths(),
-            test_accuracy=test_accuracy,
-            total_ad=total_ad,
-            energy_efficiency=efficiency,
-            epochs=epochs,
-            train_complexity=1.0 if first_row else complexity.relative(),
-        )
-        if self.pruner is not None:
-            row.channel_counts = [
-                h.active_channels() for h in self.pruner.prunable_handles()
-            ]
-        return row
+    @property
+    def train_loader(self):
+        return self.ctx.train_loader
+
+    @property
+    def test_loader(self):
+        return self.ctx.test_loader
+
+    @property
+    def trainer(self) -> Trainer:
+        return self.ctx.trainer
+
+    @property
+    def quantizer(self) -> ADQuantizer:
+        return self.ctx.quantizer
+
+    @property
+    def pruner(self) -> ADPruner | None:
+        return self.ctx.pruner
+
+    @property
+    def schedule(self) -> QuantizationSchedule:
+        return self.ctx.quantizer.schedule
+
+    @property
+    def energy_model(self):
+        return self.ctx.energy_model
+
+    @property
+    def input_shape(self):
+        return self.ctx.input_shape
+
+    @property
+    def baseline_epochs(self):
+        return self.ctx.baseline_epochs
+
+    @property
+    def architecture(self) -> str:
+        return self.ctx.architecture
+
+    @property
+    def dataset(self) -> str:
+        return self.ctx.dataset
+
+    @property
+    def _baseline_profiles(self):
+        return self.ctx.baseline_profiles
+
+    @property
+    def _complexity(self):
+        return self.ctx.complexity
+
+    def _profiles(self):
+        return self.ctx.profiles()
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentReport:
-        """Execute the full experiment; returns the report."""
-        trace_geometry(self.model, self.input_shape)
-        self.quantizer.apply_plan(self.quantizer.initial_plan())
-        self._baseline_profiles = self._profiles()
-        complexity = TrainingComplexity(self.baseline_epochs)
-        self._complexity = complexity
-        report = ExperimentReport(
-            architecture=self.architecture,
-            dataset=self.dataset,
-            layer_names=self.model.layer_handles().names(),
-        )
-        for iteration in range(1, self.schedule.max_iterations + 1):
-            epochs, _ = self.quantizer._train_until_saturation(self.train_loader)
-            densities = self.trainer.monitor.latest()
-            profiles = self._profiles()
-            complexity.add_iteration(
-                self.energy_model.mac_reduction(self._baseline_profiles, profiles),
-                epochs,
-            )
-            report.rows.append(
-                self._make_row(iteration, epochs, complexity, iteration == 1)
-            )
-            if iteration == self.schedule.max_iterations:
-                break  # do not install a plan that will never be trained
-            new_plan = self.quantizer.update_plan(densities)
-            bits_changed = new_plan.bit_widths() != self.quantizer.plan.bit_widths()
-            channels_changed = False
-            if self.pruner is not None:
-                before = self.pruner.current_plan()
-                after = self.pruner.prune_step(densities)
-                channels_changed = any(
-                    after[name] != before[name] for name in before.channels
-                )
-            if not bits_changed and not channels_changed:
-                break
-            if bits_changed:
-                self.quantizer.apply_plan(new_plan)
+        """Execute the full experiment; returns the report.
+
+        Each call restarts the experiment (fresh report, baseline and
+        complexity state, initial plan re-applied), matching the
+        pre-façade contract; trained weights persist on the model.
+        """
+        from repro.api.pipeline import Pipeline
+        from repro.api.stages import FinalTuneStage, QuantizeStage
+
+        self.ctx.prepared = False
+        stages = [QuantizeStage()]
         if self.schedule.final_epochs > 0:
-            self.trainer.fit(self.train_loader, self.schedule.final_epochs)
-            last = report.rows[-1]
-            last.epochs += self.schedule.final_epochs
-            last.test_accuracy = self.trainer.evaluate(self.test_loader)
-            last.total_ad = self.trainer.monitor.total_density()
-        return report
+            stages.append(FinalTuneStage())
+        return Pipeline(stages).run(self.ctx)
 
     # ------------------------------------------------------------------
     def remove_layer_and_retrain(
@@ -223,34 +184,9 @@ class ExperimentRunner:
         """Paper Table II row 2a: drop a dead layer, retrain, re-report.
 
         Only layers whose removal preserves tensor shapes (equal in/out
-        channels) can be removed; the unit is disabled in place.
+        channels) can be removed; the unit is disabled in place.  Raises
+        :class:`RuntimeError` if called before :meth:`run`.
         """
-        handle = self.model.layer_handles().by_name(layer_name)
-        if not handle.is_conv:
-            raise ValueError("only conv layers can be removed")
-        unit = handle.unit
-        if unit.conv.in_channels != unit.conv.out_channels:
-            raise ValueError(
-                f"{layer_name} changes channel count; removal would break shapes"
-            )
-        unit.enabled = False
-        self.trainer.fit(self.train_loader, epochs)
-        profiles = self._profiles()
-        self._complexity.add_iteration(
-            self.energy_model.mac_reduction(self._baseline_profiles, profiles),
-            epochs,
-        )
-        bit_widths = [
-            spec.bits for spec in self.quantizer.plan if spec.name != layer_name
-        ]
-        row = TableRow(
-            iteration=len(self.quantizer.records) + 1,
-            bit_widths=bit_widths,
-            test_accuracy=self.trainer.evaluate(self.test_loader),
-            total_ad=self.trainer.monitor.total_density(),
-            energy_efficiency=energy_efficiency(self._baseline_profiles, profiles),
-            epochs=epochs,
-            train_complexity=self._complexity.relative(),
-            label=label,
-        )
-        return row
+        from repro.api.ops import remove_layer_and_retrain
+
+        return remove_layer_and_retrain(self.ctx, layer_name, epochs, label=label)

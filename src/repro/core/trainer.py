@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.autograd import Tensor, no_grad
 from repro.density import DensityMonitor
 

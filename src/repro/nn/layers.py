@@ -170,7 +170,6 @@ class BatchNorm2d(Module):
             scale = (gamma.data * inv_std)[None, :, None, None]
             if not training:
                 return (grad * scale, grad_gamma, grad_beta)
-            m = grad.shape[0] * grad.shape[2] * grad.shape[3]
             mean_dy = grad.mean(axis=axes)[None, :, None, None]
             mean_dy_xhat = (grad * x_hat).mean(axis=axes)[None, :, None, None]
             grad_x = scale * (grad - mean_dy - x_hat * mean_dy_xhat)

@@ -1,7 +1,12 @@
 """Shared utilities: seeding, checkpoints, table rendering, configs."""
 
 from repro.utils.seeding import seed_everything, spawn_rngs
-from repro.utils.serialization import load_checkpoint, save_checkpoint
+from repro.utils.serialization import (
+    load_checkpoint,
+    load_json,
+    save_checkpoint,
+    save_json,
+)
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -9,5 +14,7 @@ __all__ = [
     "spawn_rngs",
     "save_checkpoint",
     "load_checkpoint",
+    "save_json",
+    "load_json",
     "format_table",
 ]

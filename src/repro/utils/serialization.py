@@ -1,4 +1,4 @@
-"""Checkpointing model state dicts to ``.npz`` archives."""
+"""Serialization utilities: JSON payloads and ``.npz`` checkpoints."""
 
 from __future__ import annotations
 
@@ -6,6 +6,18 @@ import json
 from pathlib import Path
 
 import numpy as np
+
+
+def save_json(path, payload: dict) -> None:
+    """Write a JSON-serializable payload, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+
+def load_json(path) -> dict:
+    """Read a JSON payload written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
 
 
 def save_checkpoint(path, state_dict: dict, metadata: dict | None = None) -> None:

@@ -1,0 +1,92 @@
+"""CLI: presets listing, config show, headless runs, JSON config input."""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentConfig, experiments
+from repro.cli import main
+
+
+class TestPresets:
+    def test_presets_lists_registry(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(experiments.names())
+
+    def test_presets_verbose_includes_tables(self, capsys):
+        assert main(["presets", "--verbose"]) == 0
+        assert "Table II(a)" in capsys.readouterr().out
+
+
+class TestShow:
+    def test_show_prints_valid_config_json(self, capsys):
+        assert main(["show", "--preset", "vgg11-micro-smoke"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert ExperimentConfig.from_dict(payload) == experiments.get_config(
+            "vgg11-micro-smoke"
+        )
+
+    def test_show_applies_overrides(self, capsys):
+        assert main(["show", "--preset", "vgg11-micro-smoke",
+                     "--max-iterations", "9"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quant"]["max_iterations"] == 9
+
+
+class TestRun:
+    def test_run_writes_json_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["run", "--preset", "vgg11-micro-smoke", "--out", str(out),
+                     "--quiet", "--max-iterations", "1", "--max-epochs", "1",
+                     "--min-epochs", "1"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["name"] == "vgg11-micro-smoke"
+        assert len(payload["report"]["rows"]) == 1
+        assert payload["report"]["rows"][0]["energy_efficiency"] == 1.0
+
+    def test_run_csv_format(self, tmp_path):
+        out = tmp_path / "report.csv"
+        code = main(["run", "--preset", "vgg11-micro-smoke", "--out", str(out),
+                     "--quiet", "--format", "csv", "--max-iterations", "1",
+                     "--max-epochs", "1", "--min-epochs", "1"])
+        assert code == 0
+        assert out.read_text().startswith("architecture,")
+
+    def test_run_from_config_file(self, tmp_path):
+        config_path = tmp_path / "config.json"
+        experiments.get_config("vgg11-micro-smoke").evolve(
+            quant={"max_iterations": 1, "max_epochs_per_iteration": 1,
+                   "min_epochs_per_iteration": 1}
+        ).to_json(config_path)
+        out = tmp_path / "report.json"
+        code = main(["run", "--config", str(config_path), "--out", str(out),
+                     "--quiet"])
+        assert code == 0
+        assert json.loads(out.read_text())["report"]["rows"]
+
+    def test_run_seed_override_changes_both_seeds(self, capsys):
+        assert main(["show", "--preset", "vgg11-micro-smoke", "--seed", "42"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"]["seed"] == 42
+        assert payload["data"]["seed"] == 42
+
+    def test_run_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_unknown_preset_is_clean_error(self, capsys):
+        assert main(["run", "--preset", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: unknown preset")
+        assert "Traceback" not in err
+
+    def test_bad_override_is_clean_error(self, capsys):
+        assert main(["run", "--preset", "vgg11-micro-smoke",
+                     "--max-iterations", "-1"]) == 2
+        assert "max_iterations" in capsys.readouterr().err
+
+    def test_missing_config_file_is_clean_error(self, capsys):
+        assert main(["run", "--config", "/nonexistent/config.json"]) == 2
+        assert "repro: error:" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""Config layer: validation, dict/JSON round-trips, evolve semantics."""
+
+import pytest
+
+from repro.api import (
+    DataConfig,
+    EnergyConfig,
+    ExperimentConfig,
+    ModelConfig,
+    PruneConfig,
+    QuantConfig,
+)
+
+
+def micro_config(**updates) -> ExperimentConfig:
+    config = ExperimentConfig(
+        name="micro",
+        architecture="VGG11",
+        dataset="SyntheticCIFAR10",
+        model=ModelConfig(arch="vgg11", num_classes=10, width_multiplier=0.0625,
+                          image_size=8, seed=0),
+        data=DataConfig(dataset="synthetic-cifar10", train_per_class=3,
+                        test_per_class=1, image_size=8, seed=0,
+                        train_batch_size=15, test_batch_size=10),
+        quant=QuantConfig(max_iterations=2, max_epochs_per_iteration=1,
+                          min_epochs_per_iteration=1, saturation_window=2,
+                          saturation_tolerance=0.9),
+        tables=("Table II(a)",),
+    )
+    return config.evolve(**updates) if updates else config
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        ExperimentConfig()
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ValueError, match="unknown arch"):
+            ModelConfig(arch="alexnet")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            DataConfig(dataset="imagenet")
+
+    def test_class_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            micro_config(model={"num_classes": 100})
+
+    def test_vgg_image_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="image_size"):
+            micro_config(model={"image_size": 32})
+
+    def test_resnet_ignores_image_size_mismatch(self):
+        # ResNets are resolution-agnostic (global average pooling).
+        micro_config(
+            architecture="ResNet18",
+            model={"arch": "resnet18", "image_size": 32},
+        )
+
+    def test_bad_optimizer_rejected(self):
+        with pytest.raises(ValueError, match="optimizer"):
+            micro_config(optimizer="rmsprop")
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError, match="lr"):
+            micro_config(lr=0.0)
+
+    def test_quant_schedule_validation_reused(self):
+        with pytest.raises(ValueError):
+            QuantConfig(max_epochs_per_iteration=1, min_epochs_per_iteration=2)
+
+    def test_saturation_window_bounds(self):
+        with pytest.raises(ValueError, match="saturation_window"):
+            QuantConfig(saturation_window=1)
+
+    def test_prune_min_channels_bounds(self):
+        with pytest.raises(ValueError, match="min_channels"):
+            PruneConfig(min_channels=0)
+
+    def test_energy_baseline_bits_bounds(self):
+        with pytest.raises(ValueError, match="baseline_bits"):
+            EnergyConfig(baseline_bits=0)
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            micro_config().lr = 1.0
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        config = micro_config(prune={"enabled": True}, lr=1e-3)
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self, tmp_path):
+        config = micro_config(energy={"pim": True})
+        path = tmp_path / "config.json"
+        config.to_json(path)
+        assert ExperimentConfig.from_json(path) == config
+
+    def test_tables_survive_as_tuples(self):
+        payload = micro_config().to_dict()
+        assert payload["tables"] == ["Table II(a)"]
+        assert ExperimentConfig.from_dict(payload).tables == ("Table II(a)",)
+
+    def test_unknown_key_rejected(self):
+        payload = micro_config().to_dict()
+        payload["typo_field"] = 1
+        with pytest.raises(ValueError, match="typo_field"):
+            ExperimentConfig.from_dict(payload)
+
+    def test_unknown_nested_key_rejected(self):
+        payload = micro_config().to_dict()
+        payload["quant"]["typo"] = 1
+        with pytest.raises(ValueError, match="typo"):
+            ExperimentConfig.from_dict(payload)
+
+    def test_non_dict_nested_value_rejected_cleanly(self):
+        payload = micro_config().to_dict()
+        payload["model"] = None
+        with pytest.raises(TypeError, match="model must be a dict"):
+            ExperimentConfig.from_dict(payload)
+
+
+class TestEvolve:
+    def test_nested_merge_keeps_other_fields(self):
+        base = micro_config()
+        changed = base.evolve(quant={"max_iterations": 4})
+        assert changed.quant.max_iterations == 4
+        assert changed.quant.saturation_window == base.quant.saturation_window
+        assert base.quant.max_iterations == 2  # original untouched
+
+    def test_flat_override(self):
+        assert micro_config().evolve(lr=1e-4).lr == 1e-4
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="nonexistent"):
+            micro_config().evolve(nonexistent=1)
+
+    def test_evolve_normalizes_lists_to_tuples(self):
+        config = micro_config().evolve(tables=["Table X"])
+        assert config.tables == ("Table X",)
+        hash(config)  # frozen configs must stay hashable
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_evolve_revalidates(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            micro_config().evolve(model={"num_classes": 7})
+
+
+class TestDerived:
+    def test_input_shape_follows_data(self):
+        assert micro_config().input_shape == (3, 8, 8)
+
+    def test_data_num_classes(self):
+        assert DataConfig(dataset="synthetic-cifar100").num_classes == 100
+
+    def test_quant_to_schedule_and_saturation(self):
+        quant = QuantConfig(max_iterations=3, saturation_window=4,
+                            saturation_tolerance=0.1)
+        schedule = quant.to_schedule()
+        assert schedule.max_iterations == 3
+        detector = quant.to_saturation()
+        assert detector.window == 4
+        assert detector.tolerance == 0.1

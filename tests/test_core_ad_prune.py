@@ -51,7 +51,6 @@ class TestApplyPlan:
         pruner = ADPruner(micro_vgg.layer_handles())
         handle = pruner.prunable_handles()[0]
         scores = handle.meter.channel_density()
-        target = max(1, handle.out_channels // 2)
         pruner.apply_plan(pruner.compute_plan({h.name: 0.5 for h in pruner.prunable_handles()}))
         mask = np.asarray(handle.mask_host.channel_mask)
         kept = np.flatnonzero(mask)

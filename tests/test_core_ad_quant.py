@@ -1,6 +1,5 @@
 """Algorithm 1: plans, eqn-3 updates, iteration control."""
 
-import numpy as np
 import pytest
 
 from repro.core import ADQuantizer, QuantizationSchedule, Trainer

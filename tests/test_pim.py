@@ -14,7 +14,6 @@ from repro.models import vgg19
 from repro.pim import (
     TABLE_IV_MAC_ENERGY_FJ,
     InputDecoder,
-    LayerMapping,
     PIMAccelerator,
     PIMArray,
     PIMEnergyModel,

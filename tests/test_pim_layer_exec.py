@@ -12,7 +12,7 @@ import pytest
 from repro.autograd import Tensor
 from repro.autograd.conv import conv2d
 from repro.pim import PIMAccelerator, execute_conv_layer, execute_linear_layer
-from repro.quant import UniformQuantizer, snap_to_hardware_precision
+from repro.quant import UniformQuantizer
 
 
 def fake_quant_static(x, bits):
