@@ -1,105 +1,20 @@
-"""Shared workload builders for the benchmark harnesses.
+"""Shared paper reference vectors for the benchmark harnesses.
 
-Scaling note (see DESIGN.md §2): benchmarks run the *paper topologies*
-(VGG19 = 16 conv + FC; ResNet18 = stem + 16 block convs + FC) at reduced
-channel width and input resolution so that CPU-only numpy training
-completes in minutes.  Layer counts, the AD-quantization algorithm, the
-energy models and every reported column are identical to the full-scale
-configuration; the hardware-energy benches (Tables IV-VI) run at the
-paper's full width since they need no training.
-
-The table benchmarks (II/III) now run through the experiment registry
-(`repro.api.experiments`) whose presets carry these same settings; the
-builders below remain for the figure/ablation benches that drive the
-trainer and quantizer directly.
+Scaling note (see DESIGN.md §2): the trained benchmarks run the *paper
+topologies* (VGG19 = 16 conv + FC; ResNet18 = stem + 16 block convs +
+FC) at reduced channel width and input resolution so that CPU-only
+numpy training completes in minutes.  Those scale knobs live in the
+experiment registry presets (``src/repro/api/experiments.py``), which
+every trained bench — tables, figures and ablations alike — now
+resolves through (the figure/ablation benches evolve the Table II(a)
+preset; the saturation ablation runs the registered
+``ablation-saturation`` sweep).  The hardware-energy benches (Tables
+IV-VI) run at the paper's full width since they need no training; the
+constants below are the paper's own bit/channel vectors they evaluate.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.data import (
-    DataLoader,
-    SyntheticCIFAR10,
-    SyntheticCIFAR100,
-    SyntheticTinyImageNet,
-)
-from repro.models import resnet18, vgg19
-
-# Scale knobs for the figure/ablation benches below.  The Table II/III
-# benches no longer read these: their scale lives in the registry presets
-# (src/repro/api/experiments.py) — widen both places together.
-VGG_WIDTH = 0.125
-RESNET_WIDTH = 0.125
-IMAGE_SIZE = 16
-NOISE = 0.8
-
-
-def cifar10_loaders(seed: int = 0, train_per_class: int = 24, test_per_class: int = 8):
-    rng = np.random.default_rng(seed)
-    train, test = SyntheticCIFAR10(
-        train_per_class=train_per_class,
-        test_per_class=test_per_class,
-        image_size=IMAGE_SIZE,
-        noise=NOISE,
-        seed=seed,
-    )
-    return (
-        DataLoader(train, batch_size=25, shuffle=True, rng=rng),
-        DataLoader(test, batch_size=50),
-    )
-
-
-def cifar100_loaders(seed: int = 1, train_per_class: int = 8, test_per_class: int = 3):
-    rng = np.random.default_rng(seed)
-    train, test = SyntheticCIFAR100(
-        train_per_class=train_per_class,
-        test_per_class=test_per_class,
-        image_size=IMAGE_SIZE,
-        noise=0.6,  # 100-way at micro scale needs a cleaner signal
-        seed=seed,
-    )
-    return (
-        DataLoader(train, batch_size=40, shuffle=True, rng=rng),
-        DataLoader(test, batch_size=50),
-    )
-
-
-def tinyimagenet_loaders(seed: int = 2, train_per_class: int = 2, test_per_class: int = 1):
-    rng = np.random.default_rng(seed)
-    train, test = SyntheticTinyImageNet(
-        train_per_class=train_per_class,
-        test_per_class=test_per_class,
-        image_size=IMAGE_SIZE,  # 64 in the paper; reduced for CPU scale
-        noise=NOISE,
-        seed=seed,
-    )
-    return (
-        DataLoader(train, batch_size=40, shuffle=True, rng=rng),
-        DataLoader(test, batch_size=50),
-    )
-
-
-def make_vgg19(num_classes: int = 10, seed: int = 0, width: float | None = None):
-    return vgg19(
-        num_classes=num_classes,
-        width_multiplier=VGG_WIDTH if width is None else width,
-        image_size=IMAGE_SIZE,
-        rng=np.random.default_rng(seed),
-    )
-
-
-def make_resnet18(num_classes: int = 100, seed: int = 0, width: float | None = None):
-    return resnet18(
-        num_classes=num_classes,
-        width_multiplier=RESNET_WIDTH if width is None else width,
-        rng=np.random.default_rng(seed),
-    )
-
-
-# ---------------------------------------------------------------------------
-# Paper reference vectors (for the training-free hardware benches).
-# ---------------------------------------------------------------------------
 # Table II(a) iteration 2 bit-widths for VGG19/CIFAR-10 (17 layers).
 PAPER_VGG19_BITS_ITER2 = [16, 4, 5, 4, 3, 2, 2, 2, 3, 3, 3, 4, 3, 3, 3, 3, 16]
 

@@ -1,53 +1,45 @@
 """Ablation — saturation-detector sensitivity (DESIGN.md §5).
 
 Algorithm 1 re-quantizes when AD "saturates"; the window/tolerance of
-the detector controls how long each iteration trains.  The bench sweeps
-the tolerance and reports epochs-per-iteration and final efficiency,
-verifying the intuitive monotonicity: looser tolerance -> earlier
-re-quantization -> fewer epochs per iteration.
+the detector controls how long each iteration trains.  The bench runs
+the registered ``ablation-saturation`` sweep preset through the
+orchestration layer's :class:`SweepRunner` (the same grid as
+``repro sweep --preset ablation-saturation``) and reports
+epochs-per-iteration and final efficiency, verifying the intuitive
+monotonicity: looser tolerance -> earlier re-quantization -> fewer
+epochs per iteration.
 """
 
-from repro.core import ADQuantizer, QuantizationSchedule, Trainer
-from repro.density import SaturationDetector
-from repro.nn import Adam, CrossEntropyLoss
+from repro.api import experiments
+from repro.orchestration import SweepRunner
 from repro.utils import format_table
 
-from common import cifar10_loaders, make_vgg19
 
-
-def run_with_tolerance(tolerance: float):
-    train_loader, test_loader = cifar10_loaders(seed=5)
-    model = make_vgg19(seed=5)
-    trainer = Trainer(model, Adam(model.parameters(), lr=3e-3), CrossEntropyLoss())
-    quantizer = ADQuantizer(
-        trainer,
-        QuantizationSchedule(
-            max_iterations=2, max_epochs_per_iteration=12, min_epochs_per_iteration=3
-        ),
-        SaturationDetector(window=3, tolerance=tolerance),
-    )
-    records = quantizer.run(train_loader, test_loader)
-    return records
+def run_sweep():
+    sweep = experiments.get_sweep("ablation-saturation")
+    result = SweepRunner(jobs=1).run(sweep)
+    assert result.ok, [p.error for p in result.points if p.status == "failed"]
+    return result
 
 
 def test_ablation_saturation_tolerance(benchmark):
-    def run_all():
-        return {tol: run_with_tolerance(tol) for tol in (0.005, 0.05, 0.5)}
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report = result.aggregate()
 
     print()
     rows = []
     first_iter_epochs = {}
-    for tolerance, records in results.items():
-        epochs = [r.epochs_trained for r in records]
+    for point, entry in zip(result.points, report.entries):
+        tolerance = point.config.quant.saturation_tolerance
+        epochs = [row.epochs for row in entry.report.rows]
         first_iter_epochs[tolerance] = epochs[0]
+        final = entry.report.rows[-1]
         rows.append(
             [
                 f"{tolerance:g}",
                 str(epochs),
-                f"{records[-1].total_density:.3f}",
-                f"{records[-1].test_accuracy * 100:.1f}%",
+                f"{final.total_ad:.3f}",
+                f"{final.test_accuracy * 100:.1f}%",
             ]
         )
     print(

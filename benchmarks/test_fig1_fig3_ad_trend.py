@@ -5,35 +5,42 @@ training at values < 1.0, with a heterogeneous per-layer profile.  The
 bench trains a BN-free VGG19 (classic VGG — BatchNorm pins post-ReLU
 density near 0.5 and hides the per-layer heterogeneity of the paper's
 curves) at 16-bit and prints each layer's AD trajectory.
+
+Runs through the declarative API: the ``vgg19-cifar10-quant`` registry
+preset evolved to a single fixed-length 16-bit iteration (min epochs ==
+max epochs disables early saturation exit), so the baseline shares every
+scale knob with the Table II(a) preset instead of duplicating them.
 """
 
 import numpy as np
 
-from repro.core import Trainer
+from repro.api import experiments
 from repro.density import SaturationDetector
-from repro.models import vgg19
-from repro.nn import Adam, CrossEntropyLoss
 from repro.utils import format_table
-
-from common import IMAGE_SIZE, cifar10_loaders
 
 EPOCHS = 14
 
 
-def run_baseline():
-    train_loader, _ = cifar10_loaders()
-    model = vgg19(
-        num_classes=10,
-        width_multiplier=0.125,
-        image_size=IMAGE_SIZE,
-        batch_norm=False,
-        rng=np.random.default_rng(0),
+def baseline_config():
+    return experiments.get_config("vgg19-cifar10-quant").evolve(
+        name="fig1-fig3-ad-baseline",
+        description="Figs. 1/3: 16-bit AD trajectory baseline.",
+        tables=["Fig. 1", "Fig. 3"],
+        model={"batch_norm": False},
+        lr=1e-3,
+        quant={
+            "max_iterations": 1,
+            "max_epochs_per_iteration": EPOCHS,
+            "min_epochs_per_iteration": EPOCHS,
+        },
+        energy={"analytical": False},
     )
-    for handle in model.layer_handles():
-        handle.apply_bits(16)
-    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), CrossEntropyLoss())
-    trainer.fit(train_loader, epochs=EPOCHS)
-    return trainer
+
+
+def run_baseline():
+    experiment = experiments.Experiment(baseline_config())
+    experiment.run()
+    return experiment.trainer
 
 
 def test_fig1_fig3_ad_saturates_below_one(benchmark):

@@ -2,56 +2,54 @@
 
 The paper contrasts Fig. 3 (baseline, AD < 1) with Fig. 4 (after one
 eqn.-3 re-quantization, AD moves toward 1, i.e. better utilization).
-The bench trains the 16-bit baseline to saturation, applies eqn. 3, and
-trains the mixed-precision model, printing the AD trajectories of both
-phases.  The measured contrast at this scale is recorded in
-EXPERIMENTS.md; the structural assertions are that the re-quantized
-model trains stably and that the AD trajectory remains valid.
+The bench runs two Algorithm-1 iterations through the declarative API
+(a two-iteration evolution of the ``vgg19-cifar10-quant`` preset) and
+prints the AD trajectories of both phases.  The measured contrast at
+this scale is recorded in EXPERIMENTS.md; the structural assertions are
+that the re-quantized model trains stably and that the AD trajectory
+remains valid.
 """
 
-import numpy as np
-
-from repro.core import ADQuantizer, QuantizationSchedule, Trainer
-from repro.density import SaturationDetector
-from repro.models import vgg19
-from repro.nn import Adam, CrossEntropyLoss
+from repro.api import experiments
 from repro.utils import format_table
 
-from common import IMAGE_SIZE, cifar10_loaders
+
+def two_iteration_config():
+    return experiments.get_config("vgg19-cifar10-quant").evolve(
+        name="fig4-ad-quantized",
+        description="Fig. 4: AD trajectory across one re-quantization.",
+        tables=["Fig. 4"],
+        model={"batch_norm": False},
+        lr=1e-3,
+        quant={
+            "max_iterations": 2,
+            "max_epochs_per_iteration": 10,
+            "min_epochs_per_iteration": 6,
+            "saturation_window": 3,
+            "saturation_tolerance": 0.08,
+        },
+        energy={"analytical": False},
+    )
 
 
 def run_two_iterations():
-    train_loader, test_loader = cifar10_loaders()
-    model = vgg19(
-        num_classes=10,
-        width_multiplier=0.125,
-        image_size=IMAGE_SIZE,
-        batch_norm=False,
-        rng=np.random.default_rng(0),
-    )
-    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), CrossEntropyLoss())
-    quantizer = ADQuantizer(
-        trainer,
-        QuantizationSchedule(
-            max_iterations=2, max_epochs_per_iteration=10, min_epochs_per_iteration=6
-        ),
-        SaturationDetector(window=3, tolerance=0.08),
-    )
-    records = quantizer.run(train_loader, test_loader)
-    return trainer, records
+    experiment = experiments.Experiment(two_iteration_config())
+    report = experiment.run()
+    return experiment, report
 
 
 def test_fig4_ad_trend_under_quantization(benchmark):
-    trainer, records = benchmark.pedantic(run_two_iterations, rounds=1, iterations=1)
-    monitor = trainer.monitor
-    iter1_epochs = records[0].epochs_trained
+    experiment, report = benchmark.pedantic(run_two_iterations, rounds=1, iterations=1)
+    monitor = experiment.trainer.monitor
+    iter1_epochs = report.rows[0].epochs
+    final_plan = experiment.quantizer.plan
 
     print()
     headers = ["Layer", "AD end iter1 (16b)", "bits iter2", "AD end iter2"]
     rows = []
     for name in monitor.layer_names:
         series = monitor.series(name)
-        bits = records[-1].plan.by_name(name).bits
+        bits = final_plan.by_name(name).bits
         rows.append(
             [name, f"{series[iter1_epochs - 1]:.2f}", bits, f"{series[-1]:.2f}"]
         )
@@ -61,15 +59,15 @@ def test_fig4_ad_trend_under_quantization(benchmark):
         )
     )
     print(
-        f"iter1: {iter1_epochs} epochs @16b, total AD {records[0].total_density:.3f}; "
-        f"iter2: {records[-1].epochs_trained} epochs mixed, "
-        f"total AD {records[-1].total_density:.3f}"
+        f"iter1: {iter1_epochs} epochs @16b, total AD {report.rows[0].total_ad:.3f}; "
+        f"iter2: {report.rows[-1].epochs} epochs mixed, "
+        f"total AD {report.rows[-1].total_ad:.3f}"
     )
 
-    assert len(records) == 2
+    assert len(report.rows) == 2
     # The re-quantized model carries heterogeneous bit-widths from eqn. 3.
-    hidden_bits = records[-1].plan.bit_widths()[1:-1]
+    hidden_bits = report.rows[-1].bit_widths[1:-1]
     assert min(hidden_bits) < 16
     # Training remained stable (valid densities and finite accuracy).
-    assert 0.0 <= records[-1].total_density <= 1.0
-    assert records[-1].test_accuracy is not None
+    assert 0.0 <= report.rows[-1].total_ad <= 1.0
+    assert report.rows[-1].test_accuracy is not None

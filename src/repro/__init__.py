@@ -5,6 +5,7 @@ From-scratch reproduction of Vasquez, Venkatesha et al., DATE 2021
 
 =============  =========================================================
 `api`          declarative configs, pipeline stages, experiment registry
+`orchestration`  sweeps, parallel workers, result cache, checkpoint/resume
 `autograd`     numpy reverse-mode autodiff (Tensor, conv2d, grad_check)
 `nn`           layers, optimizers, losses, module system
 `models`       instrumented VGG11/16/19 and ResNet18

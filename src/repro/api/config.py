@@ -15,6 +15,8 @@ numpy or the training stack.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, fields
 
 from repro.utils.serialization import load_json, save_json
@@ -73,11 +75,35 @@ def _to_dict(config) -> dict:
     return out
 
 
+def canonical_json(payload: dict) -> str:
+    """Deterministic JSON form of a config dict.
+
+    Keys are sorted and separators fixed so the rendering is independent
+    of dict insertion order, the process, and the platform — the basis
+    of the content-addressed result cache.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(payload: dict) -> str:
+    """sha256 hex digest of :func:`canonical_json` of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
 class _ConfigBase:
     """Shared dict/JSON plumbing for every config dataclass."""
 
     def to_dict(self) -> dict:
         return _to_dict(self)
+
+    def cache_key(self) -> str:
+        """Stable content hash of this config (see :func:`config_hash`).
+
+        Two configs compare equal iff their keys match, regardless of how
+        they were constructed (kwargs, from_dict with any key order,
+        evolve) or in which process the key is computed.
+        """
+        return config_hash(self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: dict):

@@ -52,6 +52,9 @@ class ExperimentContext:
     stop_requested: bool = False
     prepared: bool = False
     _pipeline: object | None = None
+    _stage_cursor: int | None = None
+    _resume_cursor: int | None = None
+    _resume_mid_stage: bool = False
 
     # ------------------------------------------------------------------
     @property
@@ -62,13 +65,19 @@ class ExperimentContext:
         """Energy profiles of the model under the currently-installed plan."""
         return profile_model(self.model, plan=self.quantizer.plan)
 
-    def prepare(self) -> None:
+    def prepare(self, force: bool = False) -> None:
         """Trace geometry, install the initial plan, snapshot the baseline.
 
         Idempotent: chaining several pipelines over one context prepares
-        only once, so later pipelines keep the trained/quantized state.
+        only once, so later pipelines keep the trained/quantized state
+        (``force=True`` re-prepares from scratch).
+
+        Worker-safe: preparation touches only objects owned by this
+        context (no module-level or shared mutable state), so contexts
+        built from a config inside ``multiprocessing`` workers prepare
+        and run independently — the basis of the parallel sweep runner.
         """
-        if self.prepared:
+        if self.prepared and not force:
             return
         trace_geometry(self.model, self.input_shape)
         self.quantizer.apply_plan(self.quantizer.initial_plan())
@@ -92,6 +101,159 @@ class ExperimentContext:
     def request_stop(self) -> None:
         """Ask the iterating stage to stop after the current iteration."""
         self.stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Checkpointing: everything a resumed run needs to continue exactly
+    # where this one stands, split into numeric arrays (-> .npz) and
+    # JSON-serializable metadata.
+    # ------------------------------------------------------------------
+    OPTIMIZER_PREFIX = "__optimizer__."
+
+    def snapshot_state(self) -> tuple[dict, dict]:
+        """Capture the full run state as ``(arrays, metadata)``.
+
+        ``arrays`` holds the model state dict (weights, BN statistics,
+        pruning masks) plus the optimizer's slot buffers; ``metadata``
+        holds the quantization plan, report rows, AD history, meter
+        accumulators, the training-loader RNG state and the complexity
+        ledger — enough to make the resumed run bit-identical to an
+        uninterrupted one.
+        """
+        from repro.core.export import report_to_dict
+
+        if not self.prepared:
+            raise RuntimeError("cannot snapshot an unprepared context")
+        arrays = dict(self.model.state_dict())
+        optimizer = self.trainer.optimizer
+        for key, value in optimizer.state_arrays().items():
+            arrays[self.OPTIMIZER_PREFIX + key] = value
+        metadata = {
+            "version": 1,
+            "config": self.config.to_dict() if self.config is not None else None,
+            "config_key": (
+                self.config.cache_key() if self.config is not None else None
+            ),
+            "plan": [
+                {
+                    "name": spec.name,
+                    "bits": spec.bits,
+                    "quantize_weights": spec.quantize_weights,
+                    "quantize_activations": spec.quantize_activations,
+                    "frozen": spec.frozen,
+                }
+                for spec in self.quantizer.plan
+            ],
+            "report": report_to_dict(self.report),
+            "monitor": {
+                name: list(series)
+                for name, series in self.trainer.monitor.history.items()
+            },
+            "meters": {
+                handle.name: handle.meter.state()
+                for handle in self.trainer.registry
+            },
+            "epochs_completed": self.trainer.epochs_completed,
+            "optimizer": optimizer.state_meta(),
+            "complexity": {
+                "baseline_epochs": self.complexity.baseline_epochs,
+                "iterations": [
+                    [reduction, epochs]
+                    for reduction, epochs in self.complexity.iterations
+                ],
+            },
+            "loader_rng": _rng_state(getattr(self.train_loader, "rng", None)),
+            "artifacts": _json_safe_artifacts(self.artifacts),
+            "stop_requested": self.stop_requested,
+        }
+        return arrays, metadata
+
+    def restore_state(self, arrays: dict, metadata: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture onto this context.
+
+        The context must already be prepared (so baseline profiles and
+        geometry exist); restoration then replays the captured plan,
+        weights, optimizer slots, AD bookkeeping and report rows.
+        """
+        from repro.core.export import report_from_dict
+        from repro.quant import LayerQuantSpec, QuantizationPlan
+
+        if not self.prepared:
+            raise RuntimeError("prepare() the context before restore_state()")
+        if self.config is not None and metadata.get("config_key") is not None:
+            if metadata["config_key"] != self.config.cache_key():
+                raise ValueError(
+                    "checkpoint was written by a different config "
+                    f"(key {metadata['config_key'][:12]}... vs "
+                    f"{self.config.cache_key()[:12]}...)"
+                )
+        plan = QuantizationPlan(
+            [
+                LayerQuantSpec(
+                    spec["name"],
+                    spec["bits"],
+                    quantize_weights=spec["quantize_weights"],
+                    quantize_activations=spec["quantize_activations"],
+                    frozen=spec["frozen"],
+                )
+                for spec in metadata["plan"]
+            ]
+        )
+        self.quantizer.apply_plan(plan)
+        optimizer = self.trainer.optimizer
+        model_state = {}
+        optimizer_state = {}
+        for key, value in arrays.items():
+            if key.startswith(self.OPTIMIZER_PREFIX):
+                optimizer_state[key[len(self.OPTIMIZER_PREFIX):]] = value
+            else:
+                model_state[key] = value
+        self.model.load_state_dict(model_state)
+        optimizer.load_state(optimizer_state, metadata.get("optimizer", {}))
+        monitor = self.trainer.monitor
+        monitor.reset()
+        for name, series in metadata["monitor"].items():
+            monitor.history[name] = [float(v) for v in series]
+        for handle in self.trainer.registry:
+            state = metadata.get("meters", {}).get(handle.name)
+            if state is not None:
+                handle.meter.load_state(state)
+        self.trainer.epochs_completed = int(metadata["epochs_completed"])
+        self.complexity = TrainingComplexity(
+            metadata["complexity"]["baseline_epochs"]
+        )
+        for reduction, epochs in metadata["complexity"]["iterations"]:
+            self.complexity.add_iteration(reduction, epochs)
+        rng_state = metadata.get("loader_rng")
+        loader_rng = getattr(self.train_loader, "rng", None)
+        if rng_state is not None and loader_rng is not None:
+            loader_rng.bit_generator.state = rng_state
+        restored = report_from_dict(metadata["report"])
+        self.report.rows = restored.rows
+        self.artifacts = dict(metadata.get("artifacts", {}))
+        # An early-stop requested before the capture must survive resume,
+        # or the resumed run would train iterations the original skipped.
+        self.stop_requested = bool(metadata.get("stop_requested", False))
+
+
+def _rng_state(rng) -> dict | None:
+    """JSON-serializable state of a numpy Generator (None if absent)."""
+    if rng is None:
+        return None
+    return rng.bit_generator.state
+
+
+def _json_safe_artifacts(artifacts: dict) -> dict:
+    """Subset of ``artifacts`` that survives a JSON round-trip."""
+    import json
+
+    safe = {}
+    for key, value in artifacts.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        safe[key] = value
+    return safe
 
 
 # ---------------------------------------------------------------------------

@@ -127,6 +127,102 @@ def build(name: str, **overrides) -> Experiment:
 
 
 # ---------------------------------------------------------------------------
+# Sweep presets — the paper's grids (Tables II/III across models/seeds)
+# and the DESIGN §5 ablation grids, runnable via `repro sweep --preset`.
+#
+# Registration is lazy: repro.orchestration imports this module's config
+# presets, so the SweepConfig import must wait until first access.
+# ---------------------------------------------------------------------------
+
+_SWEEPS: dict = {}
+_SWEEPS_READY = False
+
+
+def register_sweep(sweep) -> object:
+    """Add a sweep preset to the registry (name collisions are errors)."""
+    _ensure_sweeps()
+    if sweep.name in _SWEEPS:
+        raise ValueError(f"sweep preset {sweep.name!r} already registered")
+    _SWEEPS[sweep.name] = sweep
+    return sweep
+
+
+def sweep_names() -> list[str]:
+    """All registered sweep preset names, sorted."""
+    _ensure_sweeps()
+    return sorted(_SWEEPS)
+
+
+def get_sweep(name: str):
+    """Look up a sweep preset (without expanding anything)."""
+    _ensure_sweeps()
+    try:
+        return _SWEEPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep preset {name!r}; available: {', '.join(sweep_names())}"
+        ) from None
+
+
+def _ensure_sweeps() -> None:
+    global _SWEEPS_READY
+    if _SWEEPS_READY:
+        return
+    from repro.orchestration.sweep import SweepAxis, SweepConfig
+
+    # The DESIGN §5 saturation-tolerance ablation (benchmarks run this
+    # same grid through `repro.orchestration.SweepRunner`).
+    ablation_base = get_config("vgg19-cifar10-quant").evolve(
+        model={"seed": 5},
+        data={"seed": 5},
+        quant={"max_iterations": 2, "max_epochs_per_iteration": 12,
+               "min_epochs_per_iteration": 3, "saturation_window": 3},
+    )
+    _SWEEPS["ablation-saturation"] = SweepConfig(
+        name="ablation-saturation",
+        description=("DESIGN §5: saturation-detector tolerance sweep "
+                     "(looser tolerance -> earlier re-quantization)."),
+        base=ablation_base,
+        axes=(SweepAxis("quant.saturation_tolerance", (0.005, 0.05, 0.5)),),
+    )
+    _SWEEPS["ablation-initial-bits"] = SweepConfig(
+        name="ablation-initial-bits",
+        description=("DESIGN §5: starting precision sweep (Table II(c) "
+                     "uses a 32-bit start)."),
+        base=get_config("vgg19-cifar10-quant").evolve(
+            quant={"max_iterations": 2}
+        ),
+        axes=(SweepAxis("quant.initial_bits", (8, 16, 32)),),
+    )
+    _SWEEPS["table2-grid"] = SweepConfig(
+        name="table2-grid",
+        description="Table II: every quantization-only model/dataset pair.",
+        presets=("vgg19-cifar10-quant", "resnet18-cifar100-quant",
+                 "resnet18-tinyimagenet-quant"),
+    )
+    _SWEEPS["table3-grid"] = SweepConfig(
+        name="table3-grid",
+        description="Table III: fused quantization + pruning pairs.",
+        presets=("vgg19-cifar10-quant-prune", "resnet18-cifar100-quant-prune"),
+    )
+    _SWEEPS["table2-vgg19-seeds"] = SweepConfig(
+        name="table2-vgg19-seeds",
+        description="Table II(a) across four seeds (variance band).",
+        base=get_config("vgg19-cifar10-quant"),
+        seeds=(0, 1, 2, 3),
+    )
+    _SWEEPS["smoke-seeds"] = SweepConfig(
+        name="smoke-seeds",
+        description="Seconds-scale 2-point seed sweep for CI.",
+        base=get_config("vgg11-micro-smoke"),
+        seeds=(0, 1),
+    )
+    # Only mark ready once every preset built, so a failure above is
+    # re-raised (not masked by an empty registry) on the next access.
+    _SWEEPS_READY = True
+
+
+# ---------------------------------------------------------------------------
 # Presets — paper tables/figures at the repository's benchmark scale.
 # ---------------------------------------------------------------------------
 

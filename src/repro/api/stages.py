@@ -65,16 +65,56 @@ class Stage:
 
 
 class QuantizeStage(Stage):
-    """Algorithm 1: train-until-saturation / re-quantize iterations."""
+    """Algorithm 1: train-until-saturation / re-quantize iterations.
+
+    Re-entrant: when the context already carries reported quantization
+    rows (a checkpoint restore, or a second pipeline chained over a live
+    context), the stage continues from the last reported iteration
+    instead of restarting — it replays the eqn.-3/eqn.-5 update that
+    follows the last row and resumes training at the next iteration.
+    """
 
     name = "quantize"
+
+    @staticmethod
+    def completed_iterations(ctx) -> int:
+        """Quantization iterations already reported on this context."""
+        return max(
+            (row.iteration for row in ctx.report.rows if not row.label),
+            default=0,
+        )
+
+    @staticmethod
+    def _requantize(ctx) -> bool:
+        """Eqn.-3 (and fused eqn.-5) update; returns False on fixpoint."""
+        quantizer = ctx.quantizer
+        densities = ctx.trainer.monitor.latest()
+        new_plan = quantizer.update_plan(densities)
+        bits_changed = new_plan.bit_widths() != quantizer.plan.bit_widths()
+        channels_changed = False
+        if ctx.pruner is not None and ctx.fuse_prune:
+            before = ctx.pruner.current_plan()
+            after = ctx.pruner.prune_step(densities)
+            channels_changed = any(
+                after[name] != before[name] for name in before.channels
+            )
+        if bits_changed:
+            quantizer.apply_plan(new_plan)
+        return bits_changed or channels_changed
 
     def run(self, ctx) -> None:
         quantizer = ctx.quantizer
         schedule = quantizer.schedule
-        for iteration in range(1, schedule.max_iterations + 1):
+        start = self.completed_iterations(ctx)
+        if start:
+            # A restored early-stop means the original run declined to
+            # iterate further; honour it rather than training on.
+            if start >= schedule.max_iterations or ctx.stop_requested:
+                return
+            if not self._requantize(ctx):
+                return
+        for iteration in range(start + 1, schedule.max_iterations + 1):
             epochs, _ = quantizer.train_until_saturation(ctx.train_loader)
-            densities = ctx.trainer.monitor.latest()
             profiles = ctx.profiles()
             ctx.complexity.add_iteration(
                 ctx.energy_model.mac_reduction(ctx.baseline_profiles, profiles),
@@ -85,19 +125,8 @@ class QuantizeStage(Stage):
             ctx.emit("on_iteration_end", ctx, row)
             if ctx.stop_requested or iteration == schedule.max_iterations:
                 break  # do not install a plan that will never be trained
-            new_plan = quantizer.update_plan(densities)
-            bits_changed = new_plan.bit_widths() != quantizer.plan.bit_widths()
-            channels_changed = False
-            if ctx.pruner is not None and ctx.fuse_prune:
-                before = ctx.pruner.current_plan()
-                after = ctx.pruner.prune_step(densities)
-                channels_changed = any(
-                    after[name] != before[name] for name in before.channels
-                )
-            if not bits_changed and not channels_changed:
+            if not self._requantize(ctx):
                 break
-            if bits_changed:
-                quantizer.apply_plan(new_plan)
 
 
 class PruneStage(Stage):
@@ -112,6 +141,18 @@ class PruneStage(Stage):
         self.label = label
 
     def run(self, ctx) -> None:
+        # Skip only when resuming from a capture written *inside* this
+        # stage (its row is the report's last): a boundary checkpoint
+        # pointing here, or an earlier same-label stage's row, must not
+        # suppress this stage's own work.
+        resumed_here = (
+            ctx._resume_cursor is not None
+            and ctx._resume_mid_stage
+            and ctx._stage_cursor == ctx._resume_cursor
+        )
+        if resumed_here and ctx.report.rows \
+                and ctx.report.rows[-1].label == self.label:
+            return
         if ctx.pruner is None:
             min_channels = (
                 ctx.config.prune.min_channels if ctx.config is not None else 1
@@ -202,6 +243,22 @@ class PIMEvalStage(Stage):
         }
 
 
+def export_payload(report_dict: dict, config=None, artifacts=None,
+                   include_metadata: bool = True) -> dict:
+    """The JSON shape of an exported run report.
+
+    Single source of truth shared by :class:`ExportStage` and the CLI's
+    cache-hit path, so a ``--out`` file looks the same whether the run
+    executed live or was materialized from the result cache.
+    """
+    payload = {"report": report_dict}
+    if include_metadata:
+        if config is not None:
+            payload["config"] = config.to_dict()
+        payload["artifacts"] = artifacts if artifacts is not None else {}
+    return payload
+
+
 class ExportStage(Stage):
     """Write the report (JSON with config/artifacts, or CSV) to disk."""
 
@@ -218,10 +275,8 @@ class ExportStage(Stage):
         if self.format == "csv":
             save_report_csv(ctx.report, self.path)
         else:
-            payload = {"report": report_to_dict(ctx.report)}
-            if self.include_metadata:
-                if ctx.config is not None:
-                    payload["config"] = ctx.config.to_dict()
-                payload["artifacts"] = ctx.artifacts
-            save_json(self.path, payload)
+            save_json(self.path, export_payload(
+                report_to_dict(ctx.report), ctx.config, ctx.artifacts,
+                self.include_metadata,
+            ))
         ctx.artifacts.setdefault("exports", []).append(str(self.path))

@@ -1,23 +1,34 @@
-"""``repro`` console entry point: headless experiment runs.
+"""``repro`` console entry point: headless experiment runs and sweeps.
 
 Usage::
 
     python -m repro run --preset vgg19-cifar10-quant --out report.json
     python -m repro run --config my_experiment.json --out report.json
+    python -m repro run --preset ... --checkpoint run.ckpt.npz --resume
+    python -m repro sweep --preset table2-vgg19-seeds --jobs 4
+    python -m repro sweep --preset vgg11-micro-smoke --seeds 0,1,2,3
     python -m repro presets [--verbose]
+    python -m repro sweeps [--verbose]
     python -m repro show --preset vgg19-cifar10-quant
 
 ``run`` resolves a registry preset (or a JSON config file), executes the
 default pipeline for that config plus an :class:`ExportStage`, and
-writes a JSON (or CSV) report.  Common schedule knobs are overridable
-from the command line so sweeps don't need one config file per point.
+writes a JSON (or CSV) report.  ``sweep`` fans a base config out over
+override axes and executes the points through the orchestration layer —
+optionally in parallel workers — aggregating every run into one report.
+Both commands share the content-addressed result cache under
+``.repro-cache/`` (opt-in for ``run`` via ``--cache``, default for
+``sweep``; identical configs hit the same entry from either command).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
+from pathlib import Path
 
 from repro.api import ExportStage, PipelineCallback, experiments
 from repro.api.config import ExperimentConfig
@@ -77,6 +88,14 @@ def _schedule_overrides(args) -> dict:
     return overrides
 
 
+def _clean_message(error) -> str:
+    return (
+        error.args[0]
+        if error.args and isinstance(error.args[0], str)
+        else str(error)
+    )
+
+
 def _resolve_config(args) -> ExperimentConfig:
     # Resolution failures are user input problems -> clean CLI errors;
     # anything raised later (during the run) keeps its traceback.
@@ -90,26 +109,226 @@ def _resolve_config(args) -> ExperimentConfig:
             config = config.evolve(**overrides)
         return config
     except (KeyError, TypeError, ValueError, FileNotFoundError) as error:
-        message = (
-            error.args[0]
-            if error.args and isinstance(error.args[0], str)
-            else str(error)
-        )
-        raise CLIError(message) from error
+        raise CLIError(_clean_message(error)) from error
+
+
+def _prepare_out_path(path, flag: str = "--out") -> None:
+    """Create a writable home for an output path, or fail cleanly.
+
+    Creates missing parent directories and verifies writability *before*
+    any training starts, so an unwritable destination is an immediate
+    exit-2 instead of a traceback after minutes of work.
+    """
+    if not path:
+        return
+    target = Path(path)
+    parent = target.parent
+    try:
+        parent.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise CLIError(
+            f"cannot create directory {str(parent)!r} for {flag}: {error}"
+        ) from error
+    if target.exists():
+        if target.is_dir():
+            raise CLIError(f"{flag} path {path!r} is a directory")
+        if not os.access(target, os.W_OK):
+            raise CLIError(f"{flag} path {path!r} is not writable")
+    elif not os.access(parent, os.W_OK):
+        raise CLIError(f"{flag} directory {str(parent)!r} is not writable")
+
+
+
+
+def _write_cached_report(args, config, payload) -> None:
+    """Materialize a cache hit to --out exactly as a live run would."""
+    from repro.api.stages import export_payload
+    from repro.core.export import report_from_dict, save_report_csv
+    from repro.utils.serialization import save_json
+
+    if not args.out:
+        return
+    if args.format == "csv":
+        save_report_csv(report_from_dict(payload["report"]), args.out)
+    else:
+        save_json(args.out, export_payload(
+            payload["report"], config, payload.get("artifacts", {}),
+        ))
 
 
 def _cmd_run(args) -> int:
+    from repro.core.export import report_from_dict
+
     config = _resolve_config(args)
+    _prepare_out_path(args.out)
+    if args.resume and not args.checkpoint:
+        raise CLIError("--resume requires --checkpoint PATH")
+    if args.checkpoint:
+        _prepare_out_path(args.checkpoint, flag="--checkpoint")
+
+    cache = None
+    if args.cache:
+        from repro.orchestration import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        payload = cache.load(config)
+        if payload is not None:
+            report = report_from_dict(payload["report"])
+            _write_cached_report(args, config, payload)
+            if not args.quiet:
+                print(report.format())
+                print(f"cache hit ({config.cache_key()[:12]}) — run skipped")
+                if args.out:
+                    print(f"report written to {args.out}")
+            return 0
+
     experiment = experiments.Experiment(config)
+    pipeline = experiment.pipeline
     if args.out:
-        experiment.pipeline.stages.append(ExportStage(args.out, format=args.format))
+        pipeline.stages.append(ExportStage(args.out, format=args.format))
     callbacks = [] if args.quiet else [_ProgressCallback(sys.stderr)]
-    report = experiment.run(callbacks=callbacks)
+
+    if args.checkpoint:
+        from repro.orchestration import CheckpointCallback
+
+        checkpoint = Path(args.checkpoint)
+        # Iteration-granular captures first in the callback chain, so a
+        # crash in any later observer still leaves a current checkpoint.
+        callbacks = [CheckpointCallback(checkpoint)] + callbacks
+        if args.resume and checkpoint.exists():
+            persistent = list(pipeline.callbacks)
+            pipeline.callbacks = persistent + callbacks
+            import zipfile
+
+            try:
+                report = pipeline.resume(experiment.context, checkpoint)
+            except (ValueError, KeyError, OSError, EOFError,
+                    zipfile.BadZipFile) as error:
+                # A mismatched config, or an unreadable/corrupt
+                # checkpoint file, is a user-facing condition, not a bug.
+                raise CLIError(
+                    f"cannot resume from {args.checkpoint!r}: "
+                    f"{_clean_message(error)}"
+                ) from error
+            finally:
+                pipeline.callbacks = persistent
+            if args.out and not Path(args.out).exists():
+                # The checkpoint cursor sat past the export stage (the
+                # interrupted run died after exporting was recorded as
+                # complete, or the run had already finished): write the
+                # restored report so --out is honoured regardless.
+                pipeline.stages[-1].run(experiment.context)
+        else:
+            report = experiment.run(callbacks=callbacks)
+    else:
+        report = experiment.run(callbacks=callbacks)
+
+    if cache is not None:
+        from repro.orchestration.runner import run_payload
+
+        cache.store(config, run_payload(report, experiment.artifacts))
     if not args.quiet:
         print(report.format())
         if args.out:
             print(f"report written to {args.out}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Sweeps
+# ---------------------------------------------------------------------------
+
+def _parse_axis(spec: str):
+    """``path=v1,v2,...`` -> SweepAxis (values parsed as JSON, else str)."""
+    from repro.orchestration import SweepAxis
+
+    path, _, rest = spec.partition("=")
+    if not path or not rest:
+        raise ValueError(f"bad --axis {spec!r} (expected PATH=V1,V2,...)")
+    values = []
+    for chunk in rest.split(","):
+        try:
+            values.append(json.loads(chunk))
+        except ValueError:
+            values.append(chunk)
+    return SweepAxis(path, tuple(values))
+
+
+def _resolve_sweep(args):
+    from repro.orchestration import SweepConfig
+
+    try:
+        if args.config:
+            sweep = SweepConfig.from_json(args.config)
+        else:
+            try:
+                sweep = experiments.get_sweep(args.preset)
+            except KeyError:
+                # Fall back to an experiment preset as a bare base config.
+                try:
+                    base = experiments.get_config(args.preset)
+                except KeyError:
+                    raise CLIError(
+                        f"unknown preset {args.preset!r}; sweep presets: "
+                        f"{', '.join(experiments.sweep_names())}; experiment "
+                        f"presets: {', '.join(experiments.names())}"
+                    ) from None
+                sweep = SweepConfig(name=f"{args.preset}-sweep", base=base)
+        axes = tuple(sweep.axes) + tuple(
+            _parse_axis(spec) for spec in (args.axis or ())
+        )
+        seeds = sweep.seeds
+        if args.seeds:
+            seeds = tuple(int(s) for s in args.seeds.split(","))
+        sweep = SweepConfig(
+            name=sweep.name,
+            base=sweep.base,
+            presets=sweep.presets,
+            axes=axes,
+            mode=args.mode or sweep.mode,
+            seeds=seeds,
+            description=sweep.description,
+        )
+        from repro.orchestration import expand
+
+        expand(sweep)  # surface bad axis paths/values as input errors now
+        return sweep
+    except CLIError:
+        raise
+    except (KeyError, TypeError, ValueError, FileNotFoundError) as error:
+        raise CLIError(_clean_message(error)) from error
+
+
+def _cmd_sweep(args) -> int:
+    from repro.orchestration import ResultCache, SweepRunner
+    from repro.utils.serialization import save_json
+
+    sweep = _resolve_sweep(args)
+    _prepare_out_path(args.out)
+    if args.jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    progress = None
+    if not args.quiet:
+        t0 = time.time()
+
+        def progress(message):
+            print(f"[repro sweep +{time.time() - t0:7.1f}s] {message}",
+                  file=sys.stderr)
+
+    result = SweepRunner(jobs=args.jobs, cache=cache, progress=progress).run(sweep)
+    if args.out:
+        save_json(args.out, result.to_dict())
+    if not args.quiet:
+        print(result.aggregate().format())
+        stats = result.stats
+        print(
+            f"points: {stats['total']} (executed {stats['executed']}, "
+            f"cached {stats['cached']}, failed {stats['failed']})"
+        )
+        if args.out:
+            print(f"sweep results written to {args.out}")
+    return 0 if result.ok else 1
 
 
 def _cmd_presets(args) -> int:
@@ -123,10 +342,20 @@ def _cmd_presets(args) -> int:
     return 0
 
 
+def _cmd_sweeps(args) -> int:
+    for name in experiments.sweep_names():
+        sweep = experiments.get_sweep(name)
+        if args.verbose:
+            from repro.orchestration import expand
+
+            print(f"{name:28s} {len(expand(sweep)):3d} points  {sweep.description}")
+        else:
+            print(name)
+    return 0
+
+
 def _cmd_show(args) -> int:
     config = _resolve_config(args)
-    import json
-
     print(json.dumps(config.to_dict(), indent=2))
     return 0
 
@@ -152,13 +381,53 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override min_epochs_per_iteration")
     run.add_argument("--initial-bits", type=int, dest="initial_bits")
     run.add_argument("--final-epochs", type=int, dest="final_epochs")
+    run.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                     default=False,
+                     help="reuse/store results in the content-addressed cache")
+    run.add_argument("--cache-dir", default=".repro-cache",
+                     help="cache location (default: .repro-cache)")
+    run.add_argument("--checkpoint", help="write resumable checkpoints here")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint if it exists")
     run.add_argument("--quiet", action="store_true")
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="fan one config out over a grid and aggregate reports"
+    )
+    sweep_source = sweep.add_mutually_exclusive_group(required=True)
+    sweep_source.add_argument(
+        "--preset",
+        help="sweep preset (see `repro sweeps`) or experiment preset "
+             "to use as the base config",
+    )
+    sweep_source.add_argument("--config", help="path to a SweepConfig JSON file")
+    sweep.add_argument("--axis", action="append",
+                       help="extra override axis PATH=V1,V2,... (repeatable; "
+                            "the special path `seed` sets both seeds)")
+    sweep.add_argument("--seeds", help="comma-separated seed list shorthand")
+    sweep.add_argument("--mode", choices=("grid", "zip"),
+                       help="axis combination (default: the sweep's own)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="parallel worker processes (default 1 = serial)")
+    sweep.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="skip points already in the result cache")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="cache location (default: .repro-cache)")
+    sweep.add_argument("--out", help="aggregated sweep JSON output path")
+    sweep.add_argument("--quiet", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
 
     presets = sub.add_parser("presets", help="list registered presets")
     presets.add_argument("--verbose", action="store_true",
                          help="include paper-table mapping and descriptions")
     presets.set_defaults(func=_cmd_presets)
+
+    sweeps = sub.add_parser("sweeps", help="list registered sweep presets")
+    sweeps.add_argument("--verbose", action="store_true",
+                        help="include point counts and descriptions")
+    sweeps.set_defaults(func=_cmd_sweeps)
 
     show = sub.add_parser("show", help="print a preset/config as JSON")
     show_source = show.add_mutually_exclusive_group(required=True)

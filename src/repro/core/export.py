@@ -48,7 +48,11 @@ def save_report_json(report: ExperimentReport, path) -> None:
 
 def load_report_json(path) -> ExperimentReport:
     """Reconstruct a report from :func:`save_report_json` output."""
-    payload = json.loads(Path(path).read_text())
+    return report_from_dict(json.loads(Path(path).read_text()))
+
+
+def report_from_dict(payload: dict) -> ExperimentReport:
+    """Inverse of :func:`report_to_dict`."""
     report = ExperimentReport(
         architecture=payload["architecture"],
         dataset=payload["dataset"],

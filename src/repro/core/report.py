@@ -59,3 +59,82 @@ class ExperimentReport:
             table_rows.append(cells)
         title = f"{self.architecture} on {self.dataset}"
         return format_table(headers, table_rows, title=title)
+
+
+@dataclass
+class SweepEntry:
+    """One sweep point's outcome: a report, a cache hit, or a failure."""
+
+    label: str
+    report: ExperimentReport | None = None
+    status: str = "ok"  # "ok" | "cached" | "failed"
+    key: str = ""
+    error: str | None = None
+
+    @property
+    def final_row(self) -> TableRow | None:
+        if self.report is None or not self.report.rows:
+            return None
+        return self.report.rows[-1]
+
+
+@dataclass
+class SweepReport:
+    """Cross-run aggregation: every point's rows under one roof.
+
+    The per-point :class:`ExperimentReport` objects are kept whole (the
+    sweep runner guarantees they are bit-identical to serial runs); the
+    aggregate view summarises each point by its final row, the form the
+    paper's tables take when read across a grid axis.
+    """
+
+    name: str
+    entries: list[SweepEntry] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> list[SweepEntry]:
+        return [e for e in self.entries if e.report is not None]
+
+    @property
+    def failed(self) -> list[SweepEntry]:
+        return [e for e in self.entries if e.status == "failed"]
+
+    def reports(self) -> list[ExperimentReport]:
+        return [e.report for e in self.succeeded]
+
+    def rows(self) -> list[tuple[str, TableRow]]:
+        """Every (point label, row) pair across the sweep, in order."""
+        return [
+            (entry.label, row)
+            for entry in self.succeeded
+            for row in entry.report.rows
+        ]
+
+    def format(self) -> str:
+        """One summary line per point (final row), plus failures."""
+        headers = ["Point", "Status", "Bit-widths", "Test Acc", "Total AD",
+                   "Energy Eff", "Epochs", "Train Compl"]
+        table_rows = []
+        for entry in self.entries:
+            row = entry.final_row
+            if row is None:
+                table_rows.append(
+                    [entry.label, entry.status, "-", "-", "-", "-", "-", "-"]
+                )
+                continue
+            table_rows.append([
+                entry.label,
+                entry.status,
+                str(row.bit_widths),
+                f"{row.test_accuracy * 100:.2f}%",
+                f"{row.total_ad:.3f}",
+                f"{row.energy_efficiency:.2f}x",
+                str(sum(r.epochs for r in entry.report.rows)),
+                f"{row.train_complexity:.3f}x",
+            ])
+        out = format_table(headers, table_rows, title=f"Sweep — {self.name}")
+        if self.failed:
+            lines = [out, "", "failures:"]
+            lines += [f"  {e.label}: {e.error}" for e in self.failed]
+            out = "\n".join(lines)
+        return out

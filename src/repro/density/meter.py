@@ -82,6 +82,43 @@ class ActivationDensityMeter:
         self._channel_nonzero = None
         self._channel_total = None
 
+    # ------------------------------------------------------------------
+    # Checkpointing (JSON-serializable; channel vectors are short)
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Accumulated counts as a JSON-serializable dict."""
+        return {
+            "nonzero": self._nonzero,
+            "total": self._total,
+            "channel_nonzero": (
+                None
+                if self._channel_nonzero is None
+                else [int(v) for v in self._channel_nonzero]
+            ),
+            "channel_total": (
+                None
+                if self._channel_total is None
+                else [int(v) for v in self._channel_total]
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore counts captured by :meth:`state`."""
+        self._nonzero = int(state["nonzero"])
+        self._total = int(state["total"])
+        channel_nonzero = state.get("channel_nonzero")
+        channel_total = state.get("channel_total")
+        self._channel_nonzero = (
+            None
+            if channel_nonzero is None
+            else np.asarray(channel_nonzero, dtype=np.int64)
+        )
+        self._channel_total = (
+            None
+            if channel_total is None
+            else np.asarray(channel_total, dtype=np.int64)
+        )
+
     def __repr__(self) -> str:
         if self._total == 0:
             return f"ActivationDensityMeter({self.name!r}, empty)"

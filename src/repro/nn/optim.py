@@ -29,6 +29,35 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing: slot arrays + scalar state, both keyed by name so
+    # they can ride in an ``.npz`` checkpoint next to the model state.
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Per-parameter slot arrays (momentum/moment buffers)."""
+        return {}
+
+    def state_meta(self) -> dict:
+        """JSON-serializable scalar state (step counters etc.)."""
+        return {}
+
+    def load_state(self, arrays: dict[str, np.ndarray], meta: dict) -> None:
+        """Restore :meth:`state_arrays` / :meth:`state_meta` output."""
+
+    def _load_slots(self, slots: dict[str, list], arrays: dict) -> None:
+        for slot, buffers in slots.items():
+            for index, buffer in enumerate(buffers):
+                key = f"{slot}.{index}"
+                if key not in arrays:
+                    raise KeyError(f"optimizer state missing {key!r}")
+                value = np.asarray(arrays[key])
+                if value.shape != buffer.shape:
+                    raise ValueError(
+                        f"optimizer slot {key!r} shape mismatch: "
+                        f"{buffer.shape} vs {value.shape}"
+                    )
+                buffer[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay."""
@@ -53,6 +82,12 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data = param.data - self.lr * grad
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v for i, v in enumerate(self._velocity)}
+
+    def load_state(self, arrays, meta) -> None:
+        self._load_slots({"velocity": self._velocity}, arrays)
 
 
 class Adam(Optimizer):
@@ -91,6 +126,18 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        out = {f"m.{i}": m for i, m in enumerate(self._m)}
+        out.update({f"v.{i}": v for i, v in enumerate(self._v)})
+        return out
+
+    def state_meta(self) -> dict:
+        return {"step_count": self._step_count}
+
+    def load_state(self, arrays, meta) -> None:
+        self._load_slots({"m": self._m, "v": self._v}, arrays)
+        self._step_count = int(meta.get("step_count", 0))
 
 
 class LRScheduler:

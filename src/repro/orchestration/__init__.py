@@ -1,0 +1,54 @@
+"""Orchestration layer: sweeps, parallel workers, caching, checkpoints.
+
+Sits *above* :mod:`repro.api` (which stays single-run): this package
+turns one declarative :class:`~repro.api.config.ExperimentConfig` into
+grids of runs with content-addressed result caching and
+checkpoint/resume.
+
+Quick tour::
+
+    from repro.orchestration import (ResultCache, SweepAxis, SweepConfig,
+                                     SweepRunner)
+
+    sweep = SweepConfig(
+        name="vgg19-seeds",
+        base=experiments.get_config("vgg19-cifar10-quant"),
+        seeds=(0, 1, 2, 3),
+    )
+    result = SweepRunner(jobs=4, cache=ResultCache()).run(sweep)
+    print(result.aggregate().format())
+
+or headless: ``repro sweep --preset table2-vgg19-seeds --jobs 4``.
+"""
+
+from repro.orchestration.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.orchestration.checkpoint import (
+    CheckpointCallback,
+    CheckpointStage,
+    write_checkpoint,
+)
+from repro.orchestration.runner import (
+    PointResult,
+    SweepResult,
+    SweepRunner,
+    execute_point,
+    run_payload,
+)
+from repro.orchestration.sweep import SweepAxis, SweepConfig, SweepPoint, expand
+
+__all__ = [
+    "CheckpointCallback",
+    "CheckpointStage",
+    "DEFAULT_CACHE_DIR",
+    "PointResult",
+    "ResultCache",
+    "SweepAxis",
+    "SweepConfig",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "execute_point",
+    "expand",
+    "run_payload",
+    "write_checkpoint",
+]

@@ -1,0 +1,81 @@
+"""Content-addressed result cache for completed experiment runs.
+
+A completed run is keyed by ``sha256(canonical_json(config.to_dict()))``
+(:meth:`~repro.api.config._ConfigBase.cache_key`) and stored as one JSON
+entry under ``.repro-cache/<key[:2]>/<key>.json``.  Because the key is
+derived from the config *content*, the cache is shared by every caller
+that resolves to the same config — ``repro run``, ``repro sweep``, and
+programmatic :class:`~repro.orchestration.runner.SweepRunner` use — and
+is safe to publish between CI steps or machines.
+
+Corrupted or incompatible entries are treated as misses and recomputed;
+writes are atomic (temp file + rename) so parallel workers never expose
+half-written entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.utils.serialization import atomic_write
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Filesystem cache mapping config content hashes to run payloads."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, config) -> dict | None:
+        """Payload of a completed run of ``config``, or None on miss.
+
+        Any unreadable, unparsable, or structurally-invalid entry is a
+        miss — a corrupted cache never breaks a sweep, it only costs a
+        recomputation (which then overwrites the bad entry).
+        """
+        key = config.cache_key()
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("version") != CACHE_VERSION or entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict) or "report" not in payload:
+            return None
+        return payload
+
+    def store(self, config, payload: dict) -> Path:
+        """Atomically persist ``payload`` as the result of ``config``."""
+        key = config.cache_key()
+        path = self.path_for(key)
+        entry = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "config": config.to_dict(),
+            "payload": payload,
+        }
+        data = json.dumps(entry, indent=2).encode("utf-8")
+        atomic_write(path, lambda handle: handle.write(data))
+        return path
+
+    # ------------------------------------------------------------------
+    def __contains__(self, config) -> bool:
+        return self.load(config) is not None
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk (for tests/diagnostics)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

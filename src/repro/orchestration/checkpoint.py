@@ -1,0 +1,101 @@
+"""Checkpoint/resume: survive interruption mid-pipeline.
+
+Two granularities, both writing the same ``.npz`` format through
+:func:`repro.utils.serialization.save_checkpoint`:
+
+* :class:`CheckpointStage` — an explicit pipeline stage; when it runs,
+  everything before it is complete, so its checkpoint records a stage
+  cursor pointing just past itself.
+* :class:`CheckpointCallback` — hooks ``on_iteration_end``, capturing
+  state after every reported Table row; its cursor points *at* the
+  current stage, and the re-entrant stages
+  (:class:`~repro.api.stages.QuantizeStage` /
+  :class:`~repro.api.stages.PruneStage`) continue mid-loop from the
+  restored rows.
+
+:meth:`repro.api.pipeline.Pipeline.resume` restores the newest capture
+and re-runs from the recorded cursor; because the snapshot carries the
+model, optimizer slots, loader RNG state, AD history and meters, the
+resumed run is bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.api.pipeline import PipelineCallback
+from repro.api.stages import Stage
+from repro.utils.serialization import save_checkpoint
+
+
+def write_checkpoint(ctx, path, stage_cursor: int, mid_stage: bool = False) -> Path:
+    """Snapshot ``ctx`` to ``path`` with the given resume cursor.
+
+    ``mid_stage`` records whether the capture happened *inside* the
+    stage at ``stage_cursor`` (an iteration hook, its latest row already
+    reported) rather than at a stage boundary pointing to it — the
+    distinction re-entrant stages need to avoid skipping or repeating
+    work on resume.
+    """
+    arrays, metadata = ctx.snapshot_state()
+    metadata["stage_cursor"] = int(stage_cursor)
+    metadata["mid_stage"] = bool(mid_stage)
+    path = Path(path)
+    save_checkpoint(path, arrays, metadata)
+    return path
+
+
+class CheckpointStage(Stage):
+    """Persist the run state; a resumed run restarts just after here."""
+
+    name = "checkpoint"
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def run(self, ctx) -> None:
+        cursor = (ctx._stage_cursor or 0) + 1
+        write_checkpoint(ctx, self.path, cursor)
+        ctx.artifacts["checkpoint"] = str(self.path)
+
+    def __repr__(self) -> str:
+        return f"CheckpointStage({str(self.path)!r})"
+
+
+class CheckpointCallback(PipelineCallback):
+    """Checkpoint after every reported row (iteration granularity).
+
+    ``every`` thins the writes (1 = every row).  Register this callback
+    *before* observers that may raise, so the checkpoint always reflects
+    the row that was just reported.
+    """
+
+    def __init__(self, path, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.path = Path(path)
+        self.every = every
+        self._rows_seen = 0
+        self._synced = None  # (cursor, rows, stop flag) of the last capture
+
+    def _state_key(self, ctx) -> tuple:
+        # stop_requested is part of the captured state: a stop that
+        # arrives after the row write must force a fresh capture.
+        return (ctx._stage_cursor, self._rows_seen, ctx.stop_requested)
+
+    def on_iteration_end(self, ctx, row) -> None:
+        self._rows_seen += 1
+        if self._rows_seen % self.every:
+            return
+        write_checkpoint(ctx, self.path, ctx._stage_cursor or 0, mid_stage=True)
+        self._synced = self._state_key(ctx)
+
+    def on_stage_end(self, ctx, stage) -> None:
+        # A stage boundary is a safe resume point — but if the stage's
+        # final row already captured this exact state, re-serializing
+        # the whole model just to bump the cursor is wasted I/O (the
+        # re-entrant stages make resuming *at* the stage equivalent).
+        if self._synced == self._state_key(ctx):
+            return
+        write_checkpoint(ctx, self.path, (ctx._stage_cursor or 0) + 1)
+        self._synced = None

@@ -1,0 +1,268 @@
+"""Sweep execution: serial or multiprocessing workers, cache-aware.
+
+The runner takes a :class:`~repro.orchestration.sweep.SweepConfig` (or a
+pre-expanded point list), skips points whose configs already have cache
+entries, executes the rest — in ``multiprocessing`` workers when
+``jobs > 1``, serially otherwise — and aggregates every point's rows
+into one :class:`~repro.core.report.SweepReport`.
+
+Each worker rebuilds its experiment from the point's config dict alone
+(:func:`execute_point` is a pure function of its payload), so parallel
+results are bit-identical to serial ones: all stochasticity flows from
+the config's seeds.  A failing point is captured as a structured
+:class:`PointResult` with the traceback — one bad point never kills the
+sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.api.config import ExperimentConfig
+from repro.core.report import SweepEntry, SweepReport
+from repro.orchestration.sweep import SweepConfig, SweepPoint, expand
+
+
+# Artifact keys recording where *this* invocation wrote files; they are
+# run-local bookkeeping, not results, so cached payloads exclude them
+# (otherwise identical runs would produce unequal cache entries).
+LOCAL_ARTIFACT_KEYS = ("exports", "checkpoint")
+
+
+def cacheable_artifacts(artifacts: dict) -> dict:
+    """JSON-safe artifacts minus run-local path bookkeeping."""
+    from repro.api.context import _json_safe_artifacts
+
+    return {
+        key: value
+        for key, value in _json_safe_artifacts(artifacts).items()
+        if key not in LOCAL_ARTIFACT_KEYS
+    }
+
+
+def run_payload(report, artifacts: dict) -> dict:
+    """The canonical cache-entry payload of one completed run.
+
+    Single source of truth for the payload shape: both sweep workers
+    and ``repro run --cache`` must write identical entries for the
+    shared cache to work.
+    """
+    from repro.core.export import report_to_dict
+
+    return {
+        "report": report_to_dict(report),
+        "artifacts": cacheable_artifacts(artifacts),
+    }
+
+
+def execute_point(task: dict) -> dict:
+    """Run one sweep point from its config dict (worker entry point).
+
+    Worker-safe: everything is built fresh from ``task["config"]``; no
+    state is shared with the parent process beyond the payload.
+    """
+    index = task["index"]
+    started = time.time()
+    try:
+        from repro.api.experiments import Experiment
+
+        config = ExperimentConfig.from_dict(task["config"])
+        experiment = Experiment(config)
+        report = experiment.run()
+        return {
+            "index": index,
+            "status": "ok",
+            "payload": run_payload(report, experiment.artifacts),
+            "duration": time.time() - started,
+        }
+    except Exception as error:  # structured capture; the sweep survives
+        return {
+            "index": index,
+            "status": "failed",
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
+            "duration": time.time() - started,
+        }
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point."""
+
+    label: str
+    key: str
+    status: str  # "ok" | "cached" | "failed"
+    payload: dict | None = None
+    error: str | None = None
+    traceback: str | None = None
+    duration: float = 0.0
+    config: ExperimentConfig | None = None
+
+
+@dataclass
+class SweepResult:
+    """All point results plus execution statistics."""
+
+    name: str
+    points: list[PointResult] = field(default_factory=list)
+
+    @property
+    def stats(self) -> dict:
+        counts = {"total": len(self.points), "executed": 0, "cached": 0,
+                  "failed": 0}
+        for point in self.points:
+            if point.status == "ok":
+                counts["executed"] += 1
+            elif point.status in counts:
+                counts[point.status] += 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return all(p.status != "failed" for p in self.points)
+
+    def aggregate(self) -> SweepReport:
+        """Fold every point into one cross-run :class:`SweepReport`."""
+        from repro.core.export import report_from_dict
+
+        entries = []
+        for point in self.points:
+            report = None
+            if point.payload is not None:
+                report = report_from_dict(point.payload["report"])
+            entries.append(SweepEntry(
+                label=point.label,
+                report=report,
+                status=point.status,
+                key=point.key,
+                error=point.error,
+            ))
+        return SweepReport(name=self.name, entries=entries)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ``repro sweep --out`` payload)."""
+        return {
+            "sweep": self.name,
+            "stats": self.stats,
+            "points": [
+                {
+                    "label": point.label,
+                    "key": point.key,
+                    "status": point.status,
+                    "config": (
+                        point.config.to_dict() if point.config is not None else None
+                    ),
+                    "report": (
+                        point.payload.get("report")
+                        if point.payload is not None
+                        else None
+                    ),
+                    "artifacts": (
+                        point.payload.get("artifacts", {})
+                        if point.payload is not None
+                        else {}
+                    ),
+                    "error": point.error,
+                    "duration": point.duration,
+                }
+                for point in self.points
+            ],
+        }
+
+
+class SweepRunner:
+    """Executes sweep points with caching and optional parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (default) runs serially in-process.
+    cache:
+        A :class:`~repro.orchestration.cache.ResultCache` or None to
+        disable caching entirely.
+    progress:
+        Optional ``callable(str)`` receiving one line per point event.
+    execute:
+        Point executor (injectable for tests/instrumentation); must have
+        :func:`execute_point`'s contract and be picklable for ``jobs > 1``.
+    """
+
+    def __init__(self, jobs: int = 1, cache=None, progress=None,
+                 execute=execute_point):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.execute = execute
+
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # ------------------------------------------------------------------
+    def run(self, sweep) -> SweepResult:
+        """Execute ``sweep`` (a SweepConfig or list of SweepPoints)."""
+        if isinstance(sweep, SweepConfig):
+            name = sweep.name
+            points = expand(sweep)
+        else:
+            points = list(sweep)
+            name = points[0].config.name if points else "sweep"
+        for point in points:
+            if not isinstance(point, SweepPoint):
+                raise TypeError(f"not a SweepPoint: {point!r}")
+
+        results: list[PointResult | None] = [None] * len(points)
+        pending: list[tuple[int, SweepPoint]] = []
+        for index, point in enumerate(points):
+            key = point.config.cache_key()
+            payload = self.cache.load(point.config) if self.cache else None
+            if payload is not None:
+                results[index] = PointResult(
+                    label=point.label, key=key, status="cached",
+                    payload=payload, config=point.config,
+                )
+                self._log(f"cached   {point.label}")
+            else:
+                pending.append((index, point))
+
+        if pending:
+            tasks = [
+                {"index": index, "config": point.config.to_dict()}
+                for index, point in pending
+            ]
+            by_index = dict(pending)
+            for outcome in self._execute_all(tasks):
+                index = outcome["index"]
+                point = by_index[index]
+                result = PointResult(
+                    label=point.label,
+                    key=point.config.cache_key(),
+                    status=outcome["status"],
+                    payload=outcome.get("payload"),
+                    error=outcome.get("error"),
+                    traceback=outcome.get("traceback"),
+                    duration=outcome.get("duration", 0.0),
+                    config=point.config,
+                )
+                if result.status == "ok" and self.cache is not None:
+                    self.cache.store(point.config, result.payload)
+                results[index] = result
+                self._log(f"{result.status:8s} {point.label} "
+                          f"({result.duration:.1f}s)")
+
+        return SweepResult(name=name, points=[r for r in results if r])
+
+    def _execute_all(self, tasks: list[dict]):
+        """Yield outcomes for every task (unordered when parallel)."""
+        if self.jobs == 1 or len(tasks) == 1:
+            for task in tasks:
+                yield self.execute(task)
+            return
+        processes = min(self.jobs, len(tasks))
+        with multiprocessing.Pool(processes=processes) as pool:
+            yield from pool.imap_unordered(self.execute, tasks)

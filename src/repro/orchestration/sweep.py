@@ -1,0 +1,229 @@
+"""Sweep configs: fan one experiment out over a grid of overrides.
+
+The paper's tables are grids — model x dataset x schedule x prune
+toggle x seed — and a :class:`SweepConfig` is their declarative form:
+a frozen base :class:`~repro.api.config.ExperimentConfig` (or a list of
+registry presets) plus :class:`SweepAxis` override axes.  ``expand()``
+turns the sweep into concrete :class:`SweepPoint` objects, each carrying
+a fully-evolved config; everything stochastic flows from that config's
+seeds, so every point is deterministic no matter which worker runs it.
+
+Axes address config fields by dotted path (``"quant.initial_bits"``,
+``"lr"``); the special path ``"seed"`` sets ``model.seed`` and
+``data.seed`` together, matching the CLI's ``--seed`` override so sweep
+points share cache entries with equivalent ``repro run`` invocations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+
+from repro.api.config import ExperimentConfig, _from_dict
+
+SWEEP_MODES = ("grid", "zip")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One override axis: a dotted config path and the values to try."""
+
+    path: str
+    values: tuple = ()
+
+    def __post_init__(self):
+        if not self.path:
+            raise ValueError("axis path must be non-empty")
+        if not self.values:
+            raise ValueError(f"axis {self.path!r} has no values")
+
+    def override_for(self, value) -> dict:
+        """The nested ``evolve`` payload selecting ``value`` on this axis."""
+        if self.path == "seed":
+            return {"model": {"seed": value}, "data": {"seed": value}}
+        parts = self.path.split(".")
+        override: dict = {parts[-1]: value}
+        for part in reversed(parts[:-1]):
+            override = {part: override}
+        return override
+
+    @property
+    def label(self) -> str:
+        return self.path.split(".")[-1]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A named sweep: base config(s) x override axes.
+
+    Exactly one of ``base`` / ``presets`` supplies the base config(s);
+    ``presets`` names experiment-registry entries and always expands as
+    an outer product with the axes.  ``mode`` controls how multiple axes
+    combine: ``"grid"`` takes the cartesian product, ``"zip"`` pairs
+    values index-by-index (all axes must then share one length).
+    ``seeds`` is shorthand for an extra ``"seed"`` axis.
+    """
+
+    name: str
+    base: ExperimentConfig | None = None
+    presets: tuple = ()
+    axes: tuple = ()
+    mode: str = "grid"
+    seeds: tuple = ()
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("sweep name must be non-empty")
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(
+                f"unknown sweep mode {self.mode!r} (choose from {SWEEP_MODES})"
+            )
+        if (self.base is None) == (not self.presets):
+            raise ValueError("provide exactly one of base / presets")
+        for axis in self.axes:
+            if not isinstance(axis, SweepAxis):
+                raise TypeError(f"not a SweepAxis: {axis!r}")
+        paths = [axis.path for axis in self.effective_axes()]
+        duplicates = {path for path in paths if paths.count(path) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate sweep axes {sorted(duplicates)}: each config "
+                "path (including the `seeds` shorthand) may appear once"
+            )
+        if self.mode == "zip" and self.effective_axes():
+            lengths = {len(axis.values) for axis in self.effective_axes()}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"zip mode needs equal-length axes, got lengths {sorted(lengths)}"
+                )
+
+    def effective_axes(self) -> tuple:
+        """Declared axes plus the ``seeds`` shorthand axis, if any."""
+        axes = tuple(self.axes)
+        if self.seeds:
+            axes = axes + (SweepAxis("seed", tuple(self.seeds)),)
+        return axes
+
+    # ------------------------------------------------------------------
+    # Dict/JSON round-trip (axes need custom handling: tuple of
+    # dataclasses, and ``base`` may be None)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "base": None if self.base is None else self.base.to_dict(),
+            "presets": list(self.presets),
+            "axes": [
+                {"path": axis.path, "values": list(axis.values)}
+                for axis in self.axes
+            ],
+            "mode": self.mode,
+            "seeds": list(self.seeds),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepConfig":
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"SweepConfig payload must be a dict, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SweepConfig keys: {sorted(unknown)} (known: {sorted(known)})"
+            )
+        base = payload.get("base")
+        if isinstance(base, dict):
+            base = _from_dict(ExperimentConfig, base)
+        axes = tuple(
+            axis
+            if isinstance(axis, SweepAxis)
+            else SweepAxis(axis["path"], tuple(axis["values"]))
+            for axis in payload.get("axes", ())
+        )
+        return cls(
+            name=payload["name"],
+            base=base,
+            presets=tuple(payload.get("presets", ())),
+            axes=axes,
+            mode=payload.get("mode", "grid"),
+            seeds=tuple(payload.get("seeds", ())),
+            description=payload.get("description", ""),
+        )
+
+    def to_json(self, path) -> None:
+        from repro.utils.serialization import save_json
+
+        save_json(path, self.to_dict())
+
+    @classmethod
+    def from_json(cls, path) -> "SweepConfig":
+        from repro.utils.serialization import load_json
+
+        return cls.from_dict(load_json(path))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One concrete run of a sweep: a label plus its evolved config."""
+
+    label: str
+    config: ExperimentConfig
+    overrides: tuple = field(default_factory=tuple)  # ((axis label, value), ...)
+
+
+def _merge_overrides(overrides: list[dict]) -> dict:
+    """Deep-merge several nested evolve payloads (later wins on clash)."""
+    merged: dict = {}
+    for override in overrides:
+        stack = [(merged, override)]
+        while stack:
+            target, source = stack.pop()
+            for key, value in source.items():
+                if isinstance(value, dict) and isinstance(target.get(key), dict):
+                    stack.append((target[key], value))
+                else:
+                    target[key] = value
+    return merged
+
+
+def _base_configs(sweep: SweepConfig) -> list[ExperimentConfig]:
+    if sweep.base is not None:
+        return [sweep.base]
+    from repro.api import experiments
+
+    return [experiments.get_config(name) for name in sweep.presets]
+
+
+def expand(sweep: SweepConfig) -> list[SweepPoint]:
+    """All concrete points of ``sweep``, in deterministic order.
+
+    Order is: base configs outermost, then axis combinations (cartesian
+    in ``grid`` mode, index-paired in ``zip`` mode).  A sweep with no
+    axes yields one point per base config.
+    """
+    axes = sweep.effective_axes()
+    if not axes:
+        combos: list[tuple] = [()]
+    elif sweep.mode == "zip":
+        combos = list(zip(*(axis.values for axis in axes)))
+    else:
+        combos = list(itertools.product(*(axis.values for axis in axes)))
+
+    points = []
+    for config in _base_configs(sweep):
+        for combo in combos:
+            pairs = tuple(zip((axis.label for axis in axes), combo))
+            overrides = _merge_overrides(
+                [axis.override_for(value) for axis, value in zip(axes, combo)]
+            )
+            point_config = config.evolve(**overrides) if overrides else config
+            suffix = ",".join(f"{label}={value}" for label, value in pairs)
+            label = f"{config.name}[{suffix}]" if suffix else config.name
+            points.append(
+                SweepPoint(label=label, config=point_config, overrides=pairs)
+            )
+    return points

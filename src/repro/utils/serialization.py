@@ -3,9 +3,36 @@
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
+
+
+def atomic_write(path, write) -> None:
+    """Write ``path`` via temp file + rename, creating parent directories.
+
+    ``write`` receives a binary file handle.  A crash (or raised
+    exception) mid-write never leaves a partial file at ``path`` — an
+    existing file there survives untouched, and the temp file is
+    removed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def save_json(path, payload: dict) -> None:
@@ -21,7 +48,12 @@ def load_json(path) -> dict:
 
 
 def save_checkpoint(path, state_dict: dict, metadata: dict | None = None) -> None:
-    """Save a model state dict (and JSON-serializable metadata) to .npz."""
+    """Save a model state dict (and JSON-serializable metadata) to .npz.
+
+    The write is atomic (temp file + rename): a crash mid-write — the
+    very event checkpoints guard against — can never corrupt an
+    existing checkpoint at ``path``.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = dict(state_dict)
@@ -29,7 +61,7 @@ def save_checkpoint(path, state_dict: dict, metadata: dict | None = None) -> Non
         payload["__metadata__"] = np.frombuffer(
             json.dumps(metadata).encode("utf-8"), dtype=np.uint8
         )
-    np.savez(path, **payload)
+    atomic_write(path, lambda handle: np.savez(handle, **payload))
 
 
 def load_checkpoint(path) -> tuple[dict, dict | None]:

@@ -90,3 +90,183 @@ class TestRun:
     def test_missing_config_file_is_clean_error(self, capsys):
         assert main(["run", "--config", "/nonexistent/config.json"]) == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+FAST = ["--max-iterations", "1", "--max-epochs", "1", "--min-epochs", "1"]
+
+
+class TestRunOutPath:
+    def test_out_creates_missing_parent_directories(self, tmp_path):
+        out = tmp_path / "deeply" / "nested" / "report.json"
+        code = main(["run", "--preset", "vgg11-micro-smoke", "--quiet",
+                     "--out", str(out), *FAST])
+        assert code == 0
+        assert json.loads(out.read_text())["report"]["rows"]
+
+    def test_unwritable_out_exits_2_before_training(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        # Parent "directory" is a regular file -> cannot be created.
+        code = main(["run", "--preset", "vgg11-micro-smoke", "--quiet",
+                     "--out", str(blocker / "report.json"), *FAST])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "Traceback" not in err
+
+    def test_out_pointing_at_directory_exits_2(self, tmp_path, capsys):
+        code = main(["run", "--preset", "vgg11-micro-smoke", "--quiet",
+                     "--out", str(tmp_path), *FAST])
+        assert code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+
+class TestRunCache:
+    def test_cache_skips_second_run(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["run", "--preset", "vgg11-micro-smoke", "--cache",
+                "--cache-dir", str(cache_dir), *FAST]
+        assert main([*args, "--quiet"]) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out
+
+    def test_cache_hit_writes_identical_out(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        base = ["run", "--preset", "vgg11-micro-smoke", "--cache",
+                "--cache-dir", str(cache_dir), "--quiet", *FAST]
+        assert main([*base, "--out", str(first)]) == 0
+        assert main([*base, "--out", str(second)]) == 0
+        assert json.loads(first.read_text()) == json.loads(second.read_text())
+
+    def test_no_cache_is_default(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "--preset", "vgg11-micro-smoke", "--quiet",
+                     *FAST]) == 0
+        assert not (tmp_path / ".repro-cache").exists()
+
+
+class TestRunResume:
+    def test_resume_requires_checkpoint_flag(self, capsys):
+        assert main(["run", "--preset", "vgg11-micro-smoke", "--resume",
+                     "--quiet"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_completes(self, tmp_path, capsys):
+        checkpoint = tmp_path / "run.ckpt.npz"
+        args = ["run", "--preset", "vgg11-micro-smoke", "--quiet",
+                "--checkpoint", str(checkpoint), *FAST]
+        assert main(args) == 0
+        assert checkpoint.exists()
+        # Resuming a completed run replays nothing and reports the same rows.
+        assert main([*args, "--resume"]) == 0
+
+    def test_resume_with_corrupt_checkpoint_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "run.ckpt.npz"
+        checkpoint.write_bytes(b"PK\x03\x04 truncated garbage")
+        code = main(["run", "--preset", "vgg11-micro-smoke", "--quiet",
+                     "--checkpoint", str(checkpoint), "--resume", *FAST])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "Traceback" not in err
+
+    def test_resume_with_other_config_is_clean_error(self, tmp_path, capsys):
+        checkpoint = tmp_path / "run.ckpt.npz"
+        assert main(["run", "--preset", "vgg11-micro-smoke", "--quiet",
+                     "--checkpoint", str(checkpoint), *FAST]) == 0
+        code = main(["run", "--preset", "vgg11-micro-smoke", "--seed", "9",
+                     "--quiet", "--checkpoint", str(checkpoint), "--resume",
+                     *FAST])
+        assert code == 2
+        assert "different config" in capsys.readouterr().err
+
+
+class TestSweepCLI:
+    def test_sweeps_lists_registry(self, capsys):
+        assert main(["sweeps"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(experiments.sweep_names())
+
+    def test_sweep_parallel_rows_match_serial_runs(self, tmp_path):
+        """Acceptance: a 4-point seed sweep at --jobs 2 is bit-identical
+        to four serial `repro run` invocations, and a second invocation
+        completes entirely from cache."""
+        cache_dir = tmp_path / "cache"
+        sweep_out = tmp_path / "sweep.json"
+        args = ["sweep", "--preset", "vgg11-micro-smoke",
+                "--seeds", "0,1,2,3", "--jobs", "2",
+                "--cache-dir", str(cache_dir), "--quiet"]
+        assert main([*args, "--out", str(sweep_out)]) == 0
+        payload = json.loads(sweep_out.read_text())
+        assert payload["stats"] == {"total": 4, "executed": 4, "cached": 0,
+                                    "failed": 0}
+
+        for point in payload["points"]:
+            seed = point["config"]["model"]["seed"]
+            run_out = tmp_path / f"run-{seed}.json"
+            assert main(["run", "--preset", "vgg11-micro-smoke",
+                         "--seed", str(seed), "--quiet",
+                         "--out", str(run_out)]) == 0
+            serial = json.loads(run_out.read_text())
+            assert point["report"]["rows"] == serial["report"]["rows"]
+            assert point["config"] == serial["config"]
+
+        # Second sweep invocation: pure cache, no re-training.
+        second_out = tmp_path / "sweep2.json"
+        assert main([*args, "--out", str(second_out)]) == 0
+        second = json.loads(second_out.read_text())
+        assert second["stats"] == {"total": 4, "executed": 0, "cached": 4,
+                                   "failed": 0}
+        assert [p["report"] for p in second["points"]] \
+            == [p["report"] for p in payload["points"]]
+
+    def test_sweep_axis_override(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--preset", "vgg11-micro-smoke",
+                     "--axis", "quant.max_iterations=1",
+                     "--axis", "quant.max_epochs_per_iteration=1",
+                     "--axis", "quant.min_epochs_per_iteration=1",
+                     "--no-cache", "--quiet", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["stats"]["total"] == 1
+        assert payload["points"][0]["config"]["quant"]["max_iterations"] == 1
+
+    def test_sweep_preset_from_sweep_registry(self, capsys):
+        # Resolution only (no run): unknown presets give a clean error
+        # that names both registries.
+        assert main(["sweep", "--preset", "nope", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "sweep presets:" in err and "experiment presets:" in err
+        assert "Traceback" not in err
+
+    def test_sweep_bad_axis_is_clean_error(self, capsys):
+        assert main(["sweep", "--preset", "vgg11-micro-smoke",
+                     "--axis", "nonsense", "--quiet"]) == 2
+        assert "bad --axis" in capsys.readouterr().err
+
+    def test_sweep_unknown_axis_path_is_clean_error(self, capsys):
+        assert main(["sweep", "--preset", "vgg11-micro-smoke",
+                     "--axis", "quant.nonexistent=1", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "nonexistent" in err
+        assert "Traceback" not in err
+
+    def test_sweep_duplicate_axis_is_clean_error(self, capsys):
+        assert main(["sweep", "--preset", "vgg11-micro-smoke",
+                     "--seeds", "0,1", "--axis", "seed=2,3", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "duplicate sweep axes" in err
+        assert "Traceback" not in err
+
+    def test_sweep_invalid_axis_value_is_clean_error(self, capsys):
+        assert main(["sweep", "--preset", "vgg11-micro-smoke",
+                     "--axis", "quant.max_iterations=-1", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "max_iterations" in err
+        assert "Traceback" not in err

@@ -1,0 +1,126 @@
+"""Cache-key stability and corruption tolerance of the result cache."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.api import ExperimentConfig, experiments
+from repro.api.config import canonical_json, config_hash
+from repro.orchestration import ResultCache
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def config():
+    return experiments.get_config("vgg11-micro-smoke")
+
+
+class TestKeyStability:
+    def test_equal_configs_hash_equal(self):
+        assert config().cache_key() == config().cache_key()
+
+    def test_hash_survives_dict_round_trip(self):
+        clone = ExperimentConfig.from_dict(config().to_dict())
+        assert clone.cache_key() == config().cache_key()
+
+    def test_hash_independent_of_dict_ordering(self):
+        payload = config().to_dict()
+        shuffled = dict(reversed(list(payload.items())))
+        shuffled["quant"] = dict(reversed(list(payload["quant"].items())))
+        assert config_hash(shuffled) == config_hash(payload)
+        # And a config rebuilt from the shuffled dict agrees too.
+        assert ExperimentConfig.from_dict(shuffled).cache_key() \
+            == config().cache_key()
+
+    def test_hash_stable_across_processes(self):
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.api import experiments\n"
+            "print(experiments.get_config('vgg11-micro-smoke').cache_key())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, SRC],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == config().cache_key()
+
+    def test_top_level_field_change_changes_key(self):
+        assert config().evolve(lr=1e-4).cache_key() != config().cache_key()
+
+    def test_nested_evolve_changes_key(self):
+        base_key = config().cache_key()
+        assert config().evolve(quant={"max_iterations": 9}).cache_key() != base_key
+        assert config().evolve(model={"seed": 99}).cache_key() != base_key
+        assert config().evolve(prune={"enabled": True}).cache_key() != base_key
+
+    def test_every_field_perturbation_changes_key(self):
+        base_key = config().cache_key()
+        perturbations = [
+            {"name": "other"},
+            {"description": "other"},
+            {"optimizer": "sgd"},
+            {"data": {"noise": 0.123}},
+            {"energy": {"baseline_bits": 8}},
+            {"quant": {"saturation_tolerance": 0.123}},
+        ]
+        keys = {config().evolve(**p).cache_key() for p in perturbations}
+        assert base_key not in keys
+        assert len(keys) == len(perturbations)  # all distinct
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestCacheStore:
+    PAYLOAD = {"report": {"architecture": "x", "dataset": "y",
+                          "layer_names": [], "rows": []}, "artifacts": {}}
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.load(config()) is None
+        cache.store(config(), self.PAYLOAD)
+        assert cache.load(config()) == self.PAYLOAD
+        assert config() in cache
+        assert cache.entry_count() == 1
+
+    def test_entries_are_content_addressed_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.store(config(), self.PAYLOAD)
+        key = config().cache_key()
+        assert path == tmp_path / "cache" / key[:2] / f"{key}.json"
+        assert json.loads(path.read_text())["key"] == key
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.store(config(), self.PAYLOAD)
+        path.write_text("{not json")
+        assert cache.load(config()) is None
+        # Recomputation overwrites the bad entry.
+        cache.store(config(), self.PAYLOAD)
+        assert cache.load(config()) == self.PAYLOAD
+
+    def test_wrong_version_or_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.store(config(), self.PAYLOAD)
+        entry = json.loads(path.read_text())
+        entry["version"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.load(config()) is None
+        entry["version"] = 1
+        entry["key"] = "0" * 64
+        path.write_text(json.dumps(entry))
+        assert cache.load(config()) is None
+
+    def test_structurally_invalid_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.store(config(), self.PAYLOAD)
+        entry = json.loads(path.read_text())
+        entry["payload"] = {"no-report": True}
+        path.write_text(json.dumps(entry))
+        assert cache.load(config()) is None
+
+    def test_missing_root_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "nope")
+        assert cache.load(config()) is None
+        assert cache.entry_count() == 0

@@ -1,0 +1,171 @@
+"""SweepRunner: execution, parallelism, caching, failure isolation."""
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import (
+    ResultCache,
+    SweepConfig,
+    SweepRunner,
+    execute_point,
+    expand,
+)
+
+
+def micro_sweep(seeds=(0, 1), **quant):
+    overrides = {"max_iterations": 1, "max_epochs_per_iteration": 1,
+                 "min_epochs_per_iteration": 1}
+    overrides.update(quant)
+    return SweepConfig(
+        name="micro",
+        base=experiments.get_config("vgg11-micro-smoke").evolve(
+            quant=overrides
+        ),
+        seeds=tuple(seeds),
+    )
+
+
+class CountingExecutor:
+    """Injectable executor that counts actual (non-cached) executions."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, task):
+        self.calls += 1
+        return execute_point(task)
+
+
+class TestExecution:
+    def test_serial_runs_every_point(self):
+        executor = CountingExecutor()
+        result = SweepRunner(execute=executor).run(micro_sweep())
+        assert executor.calls == 2
+        assert result.stats == {"total": 2, "executed": 2, "cached": 0,
+                                "failed": 0}
+        for point in result.points:
+            assert point.payload["report"]["rows"]
+
+    def test_points_keep_sweep_order(self):
+        result = SweepRunner().run(micro_sweep(seeds=(5, 3, 4)))
+        assert [p.label for p in result.points] == [
+            "vgg11-micro-smoke[seed=5]",
+            "vgg11-micro-smoke[seed=3]",
+            "vgg11-micro-smoke[seed=4]",
+        ]
+
+    def test_parallel_rows_bit_identical_to_serial(self):
+        sweep = micro_sweep(seeds=(0, 1, 2, 3))
+        serial = SweepRunner(jobs=1).run(sweep)
+        parallel = SweepRunner(jobs=2).run(sweep)
+        assert [p.label for p in parallel.points] \
+            == [p.label for p in serial.points]
+        # Full payload equality => every float in every row is identical.
+        assert [p.payload for p in parallel.points] \
+            == [p.payload for p in serial.points]
+
+    def test_single_run_matches_direct_experiment(self):
+        sweep = micro_sweep(seeds=(7,))
+        (point,) = SweepRunner().run(sweep).points
+        from repro.core.export import report_to_dict
+
+        direct = experiments.Experiment(expand(sweep)[0].config).run()
+        assert point.payload["report"] == report_to_dict(direct)
+
+    def test_accepts_pre_expanded_points(self):
+        points = expand(micro_sweep())
+        result = SweepRunner().run(points)
+        assert result.stats["executed"] == 2
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestFailureIsolation:
+    def test_one_bad_point_does_not_kill_the_sweep(self):
+        # min_channels larger than any layer validates eagerly but blows
+        # up at runtime inside the fused prune step.
+        good = experiments.get_config("vgg11-micro-smoke").evolve(
+            quant={"max_iterations": 1, "max_epochs_per_iteration": 1,
+                   "min_epochs_per_iteration": 1}
+        )
+        bad = experiments.get_config("vgg11-micro-smoke").evolve(
+            prune={"enabled": True, "fused": True, "min_channels": 10000}
+        )
+        from repro.orchestration import SweepPoint
+
+        result = SweepRunner().run([
+            SweepPoint(label="good", config=good),
+            SweepPoint(label="bad", config=bad),
+            SweepPoint(label="good-again", config=good.evolve(
+                model={"seed": 1}, data={"seed": 1})),
+        ])
+        assert [p.status for p in result.points] == ["ok", "failed", "ok"]
+        failed = result.points[1]
+        assert failed.error and failed.traceback
+        assert not result.ok
+        report = result.aggregate()
+        assert len(report.succeeded) == 2
+        assert len(report.failed) == 1
+        assert "failures:" in report.format()
+
+    def test_failed_points_never_cached(self, tmp_path):
+        bad = experiments.get_config("vgg11-micro-smoke").evolve(
+            prune={"enabled": True, "fused": True, "min_channels": 10000}
+        )
+        from repro.orchestration import SweepPoint
+
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache).run([SweepPoint(label="bad", config=bad)])
+        assert cache.entry_count() == 0
+
+
+class TestCaching:
+    def test_second_invocation_runs_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep = micro_sweep()
+        first_executor = CountingExecutor()
+        first = SweepRunner(cache=cache, execute=first_executor).run(sweep)
+        assert first_executor.calls == 2
+        assert first.stats["executed"] == 2
+
+        second_executor = CountingExecutor()
+        second = SweepRunner(cache=cache, execute=second_executor).run(sweep)
+        # Run-count instrumentation: zero training on the second pass.
+        assert second_executor.calls == 0
+        assert second.stats == {"total": 2, "executed": 0, "cached": 2,
+                                "failed": 0}
+        assert [p.payload for p in second.points] \
+            == [p.payload for p in first.points]
+
+    def test_cached_and_fresh_points_mix(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache).run(micro_sweep(seeds=(0,)))
+        executor = CountingExecutor()
+        result = SweepRunner(cache=cache, execute=executor).run(
+            micro_sweep(seeds=(0, 1))
+        )
+        assert executor.calls == 1
+        assert [p.status for p in result.points] == ["cached", "ok"]
+
+    def test_corrupted_entry_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep = micro_sweep(seeds=(0,))
+        SweepRunner(cache=cache).run(sweep)
+        (entry,) = (tmp_path / "cache").glob("*/*.json")
+        entry.write_text("garbage")
+        executor = CountingExecutor()
+        result = SweepRunner(cache=cache, execute=executor).run(sweep)
+        assert executor.calls == 1
+        assert result.stats["executed"] == 1
+
+    def test_aggregate_and_to_dict(self, tmp_path):
+        result = SweepRunner().run(micro_sweep())
+        report = result.aggregate()
+        assert report.name == "micro"
+        assert len(report.rows()) == 2
+        assert "Sweep — micro" in report.format()
+        payload = result.to_dict()
+        assert payload["stats"]["executed"] == 2
+        assert all(p["report"]["rows"] for p in payload["points"])

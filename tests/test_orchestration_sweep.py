@@ -1,0 +1,202 @@
+"""Sweep configs: axis expansion, modes, shorthands, round-trips."""
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import SweepAxis, SweepConfig, expand
+
+
+def base():
+    return experiments.get_config("vgg11-micro-smoke")
+
+
+class TestSweepAxis:
+    def test_dotted_path_builds_nested_override(self):
+        axis = SweepAxis("quant.initial_bits", (8, 16))
+        assert axis.override_for(8) == {"quant": {"initial_bits": 8}}
+
+    def test_seed_path_sets_both_seeds(self):
+        axis = SweepAxis("seed", (7,))
+        assert axis.override_for(7) == {
+            "model": {"seed": 7},
+            "data": {"seed": 7},
+        }
+
+    def test_top_level_path(self):
+        assert SweepAxis("lr", (0.1,)).override_for(0.1) == {"lr": 0.1}
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            SweepAxis("lr", ())
+
+
+class TestExpansion:
+    def test_grid_is_cartesian_product(self):
+        sweep = SweepConfig(
+            name="grid",
+            base=base(),
+            axes=(
+                SweepAxis("quant.initial_bits", (8, 16)),
+                SweepAxis("seed", (0, 1)),
+            ),
+        )
+        points = expand(sweep)
+        assert len(points) == 4
+        combos = {
+            (p.config.quant.initial_bits, p.config.model.seed) for p in points
+        }
+        assert combos == {(8, 0), (8, 1), (16, 0), (16, 1)}
+
+    def test_zip_pairs_axes_by_index(self):
+        sweep = SweepConfig(
+            name="zip",
+            base=base(),
+            mode="zip",
+            axes=(
+                SweepAxis("quant.initial_bits", (8, 16)),
+                SweepAxis("seed", (0, 1)),
+            ),
+        )
+        points = expand(sweep)
+        assert [(p.config.quant.initial_bits, p.config.model.seed) for p in points] \
+            == [(8, 0), (16, 1)]
+
+    def test_zip_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            SweepConfig(
+                name="bad",
+                base=base(),
+                mode="zip",
+                axes=(
+                    SweepAxis("quant.initial_bits", (8, 16, 32)),
+                    SweepAxis("seed", (0, 1)),
+                ),
+            )
+
+    def test_seeds_shorthand_sets_both_seeds(self):
+        sweep = SweepConfig(name="seeds", base=base(), seeds=(3, 4))
+        points = expand(sweep)
+        assert [(p.config.model.seed, p.config.data.seed) for p in points] \
+            == [(3, 3), (4, 4)]
+        assert points[0].label == "vgg11-micro-smoke[seed=3]"
+
+    def test_presets_source_expands_each_registry_config(self):
+        sweep = SweepConfig(
+            name="tables",
+            presets=("vgg11-micro-smoke", "quickstart-vgg11"),
+        )
+        points = expand(sweep)
+        assert [p.config.name for p in points] \
+            == ["vgg11-micro-smoke", "quickstart-vgg11"]
+
+    def test_presets_cross_axes(self):
+        sweep = SweepConfig(
+            name="tables-seeds",
+            presets=("vgg11-micro-smoke", "quickstart-vgg11"),
+            seeds=(0, 1),
+        )
+        assert len(expand(sweep)) == 4
+
+    def test_axis_labels_in_point_labels(self):
+        sweep = SweepConfig(
+            name="label",
+            base=base(),
+            axes=(SweepAxis("quant.saturation_tolerance", (0.5,)),),
+        )
+        (point,) = expand(sweep)
+        assert point.label == "vgg11-micro-smoke[saturation_tolerance=0.5]"
+        assert point.overrides == (("saturation_tolerance", 0.5),)
+
+    def test_no_axes_yields_base_point(self):
+        (point,) = expand(SweepConfig(name="single", base=base()))
+        assert point.config == base()
+        assert point.label == "vgg11-micro-smoke"
+
+
+class TestValidation:
+    def test_base_xor_presets(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SweepConfig(name="both", base=base(), presets=("quickstart-vgg11",))
+        with pytest.raises(ValueError, match="exactly one"):
+            SweepConfig(name="neither")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            SweepConfig(name="m", base=base(), mode="outer")
+
+    def test_bad_axis_type(self):
+        with pytest.raises(TypeError):
+            SweepConfig(name="a", base=base(), axes=({"path": "lr"},))
+
+    def test_duplicate_axis_paths_rejected(self):
+        with pytest.raises(ValueError, match="duplicate sweep axes"):
+            SweepConfig(
+                name="dup",
+                base=base(),
+                axes=(
+                    SweepAxis("quant.initial_bits", (8,)),
+                    SweepAxis("quant.initial_bits", (16,)),
+                ),
+            )
+
+    def test_seed_axis_conflicts_with_seeds_shorthand(self):
+        with pytest.raises(ValueError, match="duplicate sweep axes"):
+            SweepConfig(
+                name="dup-seed",
+                base=base(),
+                axes=(SweepAxis("seed", (0, 1)),),
+                seeds=(2, 3),
+            )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        sweep = SweepConfig(
+            name="rt",
+            base=base(),
+            axes=(SweepAxis("quant.initial_bits", (8, 16)),),
+            seeds=(0, 1),
+            description="round trip",
+        )
+        clone = SweepConfig.from_dict(sweep.to_dict())
+        assert clone == sweep
+
+    def test_json_round_trip(self, tmp_path):
+        sweep = SweepConfig(name="rt", presets=("vgg11-micro-smoke",), seeds=(1,))
+        path = tmp_path / "sweep.json"
+        sweep.to_json(path)
+        assert SweepConfig.from_json(path) == sweep
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SweepConfig.from_dict({"name": "x", "presets": ["a"], "bogus": 1})
+
+
+class TestRegistry:
+    def test_sweep_presets_registered(self):
+        names = experiments.sweep_names()
+        for expected in ("ablation-saturation", "ablation-initial-bits",
+                         "table2-grid", "table3-grid", "table2-vgg19-seeds",
+                         "smoke-seeds"):
+            assert expected in names
+
+    def test_ablation_saturation_matches_design_grid(self):
+        sweep = experiments.get_sweep("ablation-saturation")
+        points = expand(sweep)
+        assert [p.config.quant.saturation_tolerance for p in points] \
+            == [0.005, 0.05, 0.5]
+        assert all(p.config.model.seed == 5 for p in points)
+
+    def test_table2_vgg19_seeds_is_four_points(self):
+        points = expand(experiments.get_sweep("table2-vgg19-seeds"))
+        assert len(points) == 4
+        assert {p.config.model.seed for p in points} == {0, 1, 2, 3}
+
+    def test_unknown_sweep_is_clean_keyerror(self):
+        with pytest.raises(KeyError, match="unknown sweep preset"):
+            experiments.get_sweep("nope")
+
+    def test_duplicate_registration_rejected(self):
+        sweep = experiments.get_sweep("smoke-seeds")
+        with pytest.raises(ValueError, match="already registered"):
+            experiments.register_sweep(sweep)
