@@ -164,6 +164,25 @@ def get_sweep(name: str):
         ) from None
 
 
+def get_sweep_points(name: str, shard=None) -> list:
+    """Expanded points of a registered sweep preset, optionally sharded.
+
+    ``shard`` is an ``"i/N"`` spec string (or a
+    :class:`~repro.orchestration.sweep.ShardSpec`): the returned slice is
+    the one host ``i`` of ``N`` owns, assigned deterministically by each
+    point's config cache key — mirroring ``repro sweep --preset NAME
+    --shard i/N`` so programmatic callers shard the paper grids the same
+    way the CLI does.
+    """
+    from repro.orchestration.sweep import ShardSpec, expand, shard_points
+
+    points = expand(get_sweep(name))
+    if shard is None:
+        return points
+    spec = ShardSpec.parse(shard) if isinstance(shard, str) else shard
+    return shard_points(points, spec)
+
+
 def _ensure_sweeps() -> None:
     global _SWEEPS_READY
     if _SWEEPS_READY:

@@ -7,6 +7,10 @@ Usage::
     python -m repro run --preset ... --checkpoint run.ckpt.npz --resume
     python -m repro sweep --preset table2-vgg19-seeds --jobs 4
     python -m repro sweep --preset vgg11-micro-smoke --seeds 0,1,2,3
+    python -m repro sweep --preset table2-grid --shard 0/2 --out s0.json
+    python -m repro cache export --out cache.tgz
+    python -m repro cache merge /mnt/hostb/.repro-cache
+    python -m repro merge-sweeps s0.json s1.json --out merged.json
     python -m repro presets [--verbose]
     python -m repro sweeps [--verbose]
     python -m repro show --preset vgg19-cifar10-quant
@@ -15,7 +19,11 @@ Usage::
 default pipeline for that config plus an :class:`ExportStage`, and
 writes a JSON (or CSV) report.  ``sweep`` fans a base config out over
 override axes and executes the points through the orchestration layer —
-optionally in parallel workers — aggregating every run into one report.
+optionally in parallel workers, optionally one deterministic shard of
+the grid per host — streaming every finished point into an
+incrementally rewritten ``--out`` aggregate.  ``cache export/import/
+merge`` move result-cache entries between hosts and ``merge-sweeps``
+joins shard ``--out`` files back into the unsharded aggregate.
 Both commands share the content-addressed result cache under
 ``.repro-cache/`` (opt-in for ``run`` via ``--cache``, default for
 ``sweep``; identical configs hit the same entry from either command).
@@ -238,6 +246,41 @@ def _cmd_run(args) -> int:
 # Sweeps
 # ---------------------------------------------------------------------------
 
+def _split_axis_values(rest: str) -> list[str]:
+    """Split ``v1,v2,...`` on top-level commas only.
+
+    Commas inside JSON strings (``"a,b"``) or inside brackets/braces
+    (``["a","b"]``, ``{"k": 1}``) belong to one value, so quoted axis
+    values may contain commas.
+    """
+    chunks, buf = [], []
+    depth = 0
+    in_string = escaped = False
+    for char in rest:
+        if in_string:
+            buf.append(char)
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+        elif char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth = max(0, depth - 1)
+        elif char == "," and depth == 0:
+            chunks.append("".join(buf))
+            buf = []
+            continue
+        buf.append(char)
+    chunks.append("".join(buf))
+    return chunks
+
+
 def _parse_axis(spec: str):
     """``path=v1,v2,...`` -> SweepAxis (values parsed as JSON, else str)."""
     from repro.orchestration import SweepAxis
@@ -246,7 +289,7 @@ def _parse_axis(spec: str):
     if not path or not rest:
         raise ValueError(f"bad --axis {spec!r} (expected PATH=V1,V2,...)")
     values = []
-    for chunk in rest.split(","):
+    for chunk in _split_axis_values(rest):
         try:
             values.append(json.loads(chunk))
         except ValueError:
@@ -255,6 +298,12 @@ def _parse_axis(spec: str):
 
 
 def _resolve_sweep(args):
+    """Resolve CLI args to ``(sweep, points)``.
+
+    The expanded point list doubles as eager validation (bad axis paths
+    or values fail here, before any training) and is passed through to
+    the runner, so every sweep expands exactly once per invocation.
+    """
     from repro.orchestration import SweepConfig
 
     try:
@@ -291,22 +340,71 @@ def _resolve_sweep(args):
         )
         from repro.orchestration import expand
 
-        expand(sweep)  # surface bad axis paths/values as input errors now
-        return sweep
+        return sweep, expand(sweep)
     except CLIError:
         raise
     except (KeyError, TypeError, ValueError, FileNotFoundError) as error:
         raise CLIError(_clean_message(error)) from error
 
 
-def _cmd_sweep(args) -> int:
-    from repro.orchestration import ResultCache, SweepRunner
-    from repro.utils.serialization import save_json
+class _SweepOutStream:
+    """Incrementally rewrites the sweep ``--out`` file as points finish.
 
-    sweep = _resolve_sweep(args)
+    Every write is atomic (temp file + rename), so ``--out`` is valid
+    JSON at any instant; a sweep killed mid-flight leaves the completed
+    points behind plus ``"status": "pending"`` placeholders for the
+    rest.
+    """
+
+    def __init__(self, path, name: str, points, expansion_total: int):
+        from repro.orchestration import pending_point_dict
+
+        self.path = path
+        self.name = name
+        self.points = points
+        self.expansion_total = expansion_total
+        self.results = [None] * len(points)
+        # Per-point entries are built once (placeholders now, real
+        # entries as results land), not re-serialized on every rewrite.
+        self.point_dicts = [
+            pending_point_dict(point, position)
+            for position, point in enumerate(points)
+        ]
+
+    def on_point(self, result, position, total) -> None:
+        from repro.orchestration import point_dict
+
+        self.results[position] = result
+        self.point_dicts[position] = point_dict(result, position)
+        self.write()
+
+    def write(self) -> None:
+        from repro.orchestration import sweep_out_payload
+        from repro.utils.serialization import atomic_write
+
+        payload = sweep_out_payload(self.name, self.points, self.results,
+                                    expansion_total=self.expansion_total,
+                                    point_dicts=self.point_dicts)
+        data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        atomic_write(self.path, lambda handle: handle.write(data))
+
+
+def _cmd_sweep(args) -> int:
+    from repro.orchestration import (ResultCache, ShardSpec, SweepRunner,
+                                     shard_points)
+
+    sweep, points = _resolve_sweep(args)
     _prepare_out_path(args.out)
     if args.jobs < 1:
         raise CLIError("--jobs must be >= 1")
+    expansion_total = len(points)  # full grid size, recorded pre-sharding
+    shard = None
+    if args.shard:
+        try:
+            shard = ShardSpec.parse(args.shard)
+        except ValueError as error:
+            raise CLIError(_clean_message(error)) from error
+        points = shard_points(points, shard)
     cache = ResultCache(args.cache_dir) if args.cache else None
     progress = None
     if not args.quiet:
@@ -316,19 +414,115 @@ def _cmd_sweep(args) -> int:
             print(f"[repro sweep +{time.time() - t0:7.1f}s] {message}",
                   file=sys.stderr)
 
-    result = SweepRunner(jobs=args.jobs, cache=cache, progress=progress).run(sweep)
+        if shard is not None:
+            progress(f"shard {shard}: {len(points)} of the sweep's points")
+    stream = None
     if args.out:
-        save_json(args.out, result.to_dict())
+        stream = _SweepOutStream(args.out, sweep.name, points,
+                                 expansion_total=expansion_total)
+        stream.write()  # all-pending skeleton exists from the first moment
+    runner = SweepRunner(jobs=args.jobs, cache=cache, progress=progress,
+                         on_point=stream.on_point if stream else None)
+    result = runner.run(sweep, points=points)
+    # No final rewrite needed: the stream already rewrote --out after
+    # the last point (the runner raises if any point went unaccounted).
     if not args.quiet:
         print(result.aggregate().format())
         stats = result.stats
+        shard_note = f" [shard {shard}]" if shard is not None else ""
         print(
-            f"points: {stats['total']} (executed {stats['executed']}, "
+            f"points: {stats['total']}{shard_note} "
+            f"(executed {stats['executed']}, "
             f"cached {stats['cached']}, failed {stats['failed']})"
         )
         if args.out:
             print(f"sweep results written to {args.out}")
     return 0 if result.ok else 1
+
+
+# ---------------------------------------------------------------------------
+# Cache transport and shard-report merging
+# ---------------------------------------------------------------------------
+
+def _merge_cache_source(cache, source) -> dict:
+    """Merge ``source`` (cache directory or exported tarball) into ``cache``."""
+    from repro.orchestration import ResultCache
+
+    source = Path(source)
+    if source.is_dir():
+        return cache.merge(ResultCache(source))
+    if not source.exists():
+        raise CLIError(f"no such cache source: {source}")
+    import tarfile
+
+    try:
+        return cache.import_archive(source)
+    except (OSError, tarfile.TarError) as error:
+        raise CLIError(
+            f"cannot read cache archive {str(source)!r}: "
+            f"{_clean_message(error)}"
+        ) from error
+
+
+def _cmd_cache(args) -> int:
+    from repro.orchestration import CacheMergeConflict, ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "export":
+        _prepare_out_path(args.out)
+        stats = cache.export_archive(args.out)
+        if not args.quiet:
+            print(f"exported {stats['exported']} cache entries to {args.out}")
+            if stats["skipped_invalid"]:
+                print(f"skipped {stats['skipped_invalid']} invalid entries",
+                      file=sys.stderr)
+        return 0
+    # import / merge share semantics: fold entries into --cache-dir.
+    try:
+        stats = _merge_cache_source(cache, args.source)
+    except CacheMergeConflict as error:
+        raise CLIError(_clean_message(error)) from error
+    if not args.quiet:
+        print(
+            f"merged {stats['merged']} new entries into {args.cache_dir} "
+            f"({stats['identical']} already present, "
+            f"{stats['skipped_invalid']} invalid skipped)"
+        )
+    return 0
+
+
+def _cmd_merge_sweeps(args) -> int:
+    from repro.core.export import sweep_report_from_payload
+    from repro.orchestration import merge_sweep_payloads
+    from repro.utils.serialization import load_json, save_json
+
+    _prepare_out_path(args.out)
+    payloads = []
+    for path in args.files:
+        try:
+            payloads.append(load_json(path))
+        except (OSError, ValueError) as error:
+            raise CLIError(
+                f"cannot read sweep output {path!r}: {_clean_message(error)}"
+            ) from error
+    try:
+        merged = merge_sweep_payloads(payloads, name=args.name)
+    except ValueError as error:
+        raise CLIError(_clean_message(error)) from error
+    if args.out:
+        save_json(args.out, merged)
+    report = sweep_report_from_payload(merged)
+    stats = merged["stats"]
+    if not args.quiet:
+        print(report.format())
+        print(
+            f"points: {stats['total']} (executed {stats['executed']}, "
+            f"cached {stats['cached']}, failed {stats['failed']}) "
+            f"from {len(payloads)} shard file(s)"
+        )
+        if args.out:
+            print(f"merged sweep written to {args.out}")
+    return 0 if not stats["failed"] else 1
 
 
 def _cmd_presets(args) -> int:
@@ -410,6 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="axis combination (default: the sweep's own)")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="parallel worker processes (default 1 = serial)")
+    sweep.add_argument("--shard",
+                       help="run one deterministic slice I/N of the grid "
+                            "(e.g. 0/4); N hosts with shards 0..N-1 cover "
+                            "the sweep exactly once")
     sweep.add_argument("--cache", action=argparse.BooleanOptionalAction,
                        default=True,
                        help="skip points already in the result cache")
@@ -418,6 +616,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", help="aggregated sweep JSON output path")
     sweep.add_argument("--quiet", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="transport the result cache between hosts"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_export = cache_sub.add_parser(
+        "export", help="publish every cache entry as a tarball"
+    )
+    cache_export.add_argument("--out", required=True,
+                              help="tarball output path (e.g. cache.tgz)")
+    cache_import = cache_sub.add_parser(
+        "import", help="merge entries from an exported tarball"
+    )
+    cache_import.add_argument("source", help="tarball written by cache export")
+    cache_merge = cache_sub.add_parser(
+        "merge", help="merge another cache directory (or tarball)"
+    )
+    cache_merge.add_argument("source",
+                             help="cache directory root or exported tarball")
+    for cache_cmd in (cache_export, cache_import, cache_merge):
+        cache_cmd.add_argument("--cache-dir", default=".repro-cache",
+                               help="this host's cache (default: .repro-cache)")
+        cache_cmd.add_argument("--quiet", action="store_true")
+        cache_cmd.set_defaults(func=_cmd_cache)
+
+    merge_sweeps = sub.add_parser(
+        "merge-sweeps",
+        help="join shard sweep --out files into the unsharded aggregate",
+    )
+    merge_sweeps.add_argument("files", nargs="+",
+                              help="sweep --out JSON files (one per shard)")
+    merge_sweeps.add_argument("--out", help="merged sweep JSON output path")
+    merge_sweeps.add_argument("--name",
+                              help="merged sweep name (default: the shards' "
+                                   "shared name; required if they differ)")
+    merge_sweeps.add_argument("--quiet", action="store_true")
+    merge_sweeps.set_defaults(func=_cmd_merge_sweeps)
 
     presets = sub.add_parser("presets", help="list registered presets")
     presets.add_argument("--verbose", action="store_true",

@@ -11,7 +11,7 @@ import csv
 import json
 from pathlib import Path
 
-from repro.core.report import ExperimentReport, TableRow
+from repro.core.report import ExperimentReport, SweepEntry, SweepReport, TableRow
 
 
 def report_to_dict(report: ExperimentReport) -> dict:
@@ -74,6 +74,25 @@ def report_from_dict(payload: dict) -> ExperimentReport:
                 label=row.get("label", ""),
             )
         )
+    return report
+
+
+def sweep_report_from_payload(payload: dict) -> SweepReport:
+    """Rebuild the aggregate :class:`SweepReport` from a sweep ``--out``
+    (or ``repro merge-sweeps``) JSON payload."""
+    report = SweepReport(name=payload["sweep"])
+    for point in payload["points"]:
+        report.add(SweepEntry(
+            label=point["label"],
+            report=(
+                report_from_dict(point["report"])
+                if point.get("report") is not None
+                else None
+            ),
+            status=point["status"],
+            key=point.get("key", ""),
+            error=point.get("error"),
+        ))
     return report
 
 

@@ -91,6 +91,18 @@ class SweepReport:
     name: str
     entries: list[SweepEntry] = field(default_factory=list)
 
+    def add(self, entry: SweepEntry) -> None:
+        """Fold one more point outcome in (streaming aggregation)."""
+        self.entries.append(entry)
+
+    @classmethod
+    def merged(cls, name: str, reports) -> "SweepReport":
+        """Join several (e.g. per-shard) reports, entry order preserved."""
+        merged = cls(name=name)
+        for report in reports:
+            merged.entries.extend(report.entries)
+        return merged
+
     @property
     def succeeded(self) -> list[SweepEntry]:
         return [e for e in self.entries if e.report is not None]

@@ -1,9 +1,9 @@
-"""Orchestration layer: sweeps, parallel workers, caching, checkpoints.
+"""Orchestration layer: sweeps, sharding, parallel workers, caching.
 
 Sits *above* :mod:`repro.api` (which stays single-run): this package
 turns one declarative :class:`~repro.api.config.ExperimentConfig` into
-grids of runs with content-addressed result caching and
-checkpoint/resume.
+grids of runs with content-addressed result caching, multi-host
+sharding, streaming aggregation, and checkpoint/resume.
 
 Quick tour::
 
@@ -19,9 +19,20 @@ Quick tour::
     print(result.aggregate().format())
 
 or headless: ``repro sweep --preset table2-vgg19-seeds --jobs 4``.
+
+Distributed: ``repro sweep --shard i/N`` runs one deterministic slice of
+the grid per host (:func:`shard_points`), ``repro cache export/import/
+merge`` move ``.repro-cache/`` entries between hosts
+(:meth:`ResultCache.merge` with conflict detection), and
+``repro merge-sweeps`` joins the shard ``--out`` files back into the
+unsharded aggregate (:func:`merge_sweep_payloads`).
 """
 
-from repro.orchestration.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.orchestration.cache import (
+    DEFAULT_CACHE_DIR,
+    CacheMergeConflict,
+    ResultCache,
+)
 from repro.orchestration.checkpoint import (
     CheckpointCallback,
     CheckpointStage,
@@ -32,23 +43,45 @@ from repro.orchestration.runner import (
     SweepResult,
     SweepRunner,
     execute_point,
+    merge_sweep_payloads,
+    pending_point_dict,
+    point_dict,
     run_payload,
+    sweep_out_payload,
 )
-from repro.orchestration.sweep import SweepAxis, SweepConfig, SweepPoint, expand
+from repro.orchestration.sweep import (
+    ShardSpec,
+    SweepAxis,
+    SweepConfig,
+    SweepPoint,
+    axis_labels,
+    expand,
+    shard_assignment,
+    shard_points,
+)
 
 __all__ = [
+    "CacheMergeConflict",
     "CheckpointCallback",
     "CheckpointStage",
     "DEFAULT_CACHE_DIR",
     "PointResult",
     "ResultCache",
+    "ShardSpec",
     "SweepAxis",
     "SweepConfig",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
+    "axis_labels",
     "execute_point",
     "expand",
+    "merge_sweep_payloads",
+    "pending_point_dict",
+    "point_dict",
     "run_payload",
+    "shard_assignment",
+    "shard_points",
+    "sweep_out_payload",
     "write_checkpoint",
 ]

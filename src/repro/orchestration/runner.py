@@ -6,12 +6,25 @@ entries, executes the rest — in ``multiprocessing`` workers when
 ``jobs > 1``, serially otherwise — and aggregates every point's rows
 into one :class:`~repro.core.report.SweepReport`.
 
+Points with identical configs (same cache key) execute **once**: the
+single result fans out to every matching point, so a no-op override or
+overlapping seed axes never trains twice or races on the cache.
+
+Results *stream*: an ``on_point`` callback receives each
+:class:`PointResult` the moment its worker finishes (cached hits
+included), which is how the CLI keeps ``--out`` incrementally rewritten
+and how live dashboards can fold points into a
+:class:`~repro.core.report.SweepReport` while the sweep is still
+running.
+
 Each worker rebuilds its experiment from the point's config dict alone
 (:func:`execute_point` is a pure function of its payload), so parallel
 results are bit-identical to serial ones: all stochasticity flows from
 the config's seeds.  A failing point is captured as a structured
 :class:`PointResult` with the traceback — one bad point never kills the
-sweep.
+sweep.  A result that goes *missing* (an executor that loses or
+mislabels a task) is a :class:`RuntimeError` naming the unaccounted-for
+points, never a silently shorter result list.
 """
 
 from __future__ import annotations
@@ -100,6 +113,222 @@ class PointResult:
     traceback: str | None = None
     duration: float = 0.0
     config: ExperimentConfig | None = None
+    index: int | None = None  # position in the full (unsharded) expansion
+
+    def to_entry(self) -> SweepEntry:
+        """This outcome as one :class:`SweepReport` entry."""
+        from repro.core.export import report_from_dict
+
+        report = None
+        if self.payload is not None:
+            report = report_from_dict(self.payload["report"])
+        return SweepEntry(
+            label=self.label,
+            report=report,
+            status=self.status,
+            key=self.key,
+            error=self.error,
+        )
+
+
+def _count_statuses(pairs, counts: dict) -> dict:
+    """Fold ``(status, label)`` pairs into ``counts``; unknowns raise."""
+    for status, label in pairs:
+        if status == "ok":
+            counts["executed"] += 1
+        elif status in ("cached", "failed"):
+            counts[status] += 1
+        else:
+            raise ValueError(
+                f"unknown point status {status!r} for {label!r}"
+            )
+    return counts
+
+
+def point_dict(result: PointResult, position: int) -> dict:
+    """One completed point's entry in the sweep ``--out`` payload."""
+    return {
+        "index": result.index if result.index is not None else position,
+        "label": result.label,
+        "key": result.key,
+        "status": result.status,
+        "config": (
+            result.config.to_dict() if result.config is not None else None
+        ),
+        "report": (
+            result.payload.get("report")
+            if result.payload is not None
+            else None
+        ),
+        "artifacts": (
+            result.payload.get("artifacts", {})
+            if result.payload is not None
+            else {}
+        ),
+        "error": result.error,
+        "duration": result.duration,
+    }
+
+
+def pending_point_dict(point, position: int) -> dict:
+    """A not-yet-finished point's ``"pending"`` placeholder entry."""
+    return {
+        "index": point.index if point.index is not None else position,
+        "label": point.label,
+        "key": point.config.cache_key(),
+        "status": "pending",
+        "config": point.config.to_dict(),
+        "report": None,
+        "artifacts": {},
+        "error": None,
+        "duration": 0.0,
+    }
+
+
+def sweep_out_payload(name: str, points, results,
+                      expansion_total: int | None = None,
+                      point_dicts=None) -> dict:
+    """The ``--out`` JSON of a possibly still-running sweep.
+
+    ``results`` parallels ``points``; a ``None`` slot (not finished yet)
+    becomes a ``"status": "pending"`` placeholder, so the file is valid,
+    complete-in-shape JSON at every moment of a streaming sweep.  With
+    no pending slots (and no ``expansion_total``) the payload equals
+    :meth:`SweepResult.to_dict`.
+
+    ``expansion_total`` records the size of the *full* (unsharded)
+    expansion; shard ``--out`` files carry it so
+    :func:`merge_sweep_payloads` can detect an absent shard file even
+    when the missing points are a suffix of the expansion order.
+
+    ``point_dicts`` optionally supplies precomputed per-point entries
+    (:func:`point_dict` / :func:`pending_point_dict`) so a streaming
+    writer rewriting the file once per finished point does not
+    re-serialize and re-hash every other point's config each time.
+    """
+    dicts = []
+    counts = {"total": len(points), "executed": 0, "cached": 0, "failed": 0}
+    pending = 0
+    for position, (point, result) in enumerate(zip(points, results)):
+        if result is None:
+            pending += 1
+            dicts.append(
+                point_dicts[position] if point_dicts is not None
+                else pending_point_dict(point, position)
+            )
+        else:
+            _count_statuses([(result.status, result.label)], counts)
+            dicts.append(
+                point_dicts[position] if point_dicts is not None
+                else point_dict(result, position)
+            )
+    if pending:
+        counts["pending"] = pending
+    payload = {"sweep": name, "stats": counts, "points": dicts}
+    if expansion_total is not None:
+        payload["expansion_total"] = expansion_total
+    return payload
+
+
+def merge_sweep_payloads(payloads, name: str | None = None) -> dict:
+    """Join shard ``--out`` payloads back into the unsharded payload.
+
+    Points are reordered by their original expansion ``index``; the
+    merged set must cover the full expansion (every index in
+    ``0..expansion_total-1`` when the shard files record the expansion
+    size, ``0..max`` contiguously otherwise — missing indices mean a
+    shard output is absent) and duplicated indices must agree on key,
+    status, and report (disagreement means the shards ran different
+    sweeps or produced non-deterministic results).  Stats are recomputed
+    from the merged statuses.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        raise ValueError("no sweep payloads to merge")
+    for position, payload in enumerate(payloads):
+        if (not isinstance(payload, dict)
+                or not isinstance(payload.get("sweep"), str)
+                or not isinstance(payload.get("points"), list)):
+            raise ValueError(
+                f"input #{position + 1} is not a sweep --out payload "
+                "(expected 'sweep' and 'points' keys; is it a "
+                "`repro run` report?)"
+            )
+    names = {payload["sweep"] for payload in payloads}
+    if name is None:
+        if len(names) > 1:
+            raise ValueError(
+                f"sweep names differ across shard files: {sorted(names)}; "
+                "pass an explicit merged name"
+            )
+        name = next(iter(names))
+    totals = {
+        payload["expansion_total"]
+        for payload in payloads
+        if isinstance(payload.get("expansion_total"), int)
+    }
+    if len(totals) > 1:
+        raise ValueError(
+            f"shard files disagree on the sweep's expansion size: "
+            f"{sorted(totals)} (were they sharded from the same sweep?)"
+        )
+    expansion_total = next(iter(totals)) if totals else None
+    by_index: dict[int, dict] = {}
+    for payload in payloads:
+        for point in payload["points"]:
+            label = point.get("label")
+            index = point.get("index")
+            if not isinstance(index, int):
+                raise ValueError(
+                    f"point {label!r} carries no expansion index; "
+                    "merge-sweeps needs shard outputs written by "
+                    "`repro sweep --shard`"
+                )
+            if point.get("status") == "pending":
+                raise ValueError(
+                    f"point {label!r} is still pending; merge only "
+                    "completed shard outputs"
+                )
+            seen = by_index.get(index)
+            if seen is None:
+                by_index[index] = point
+            elif any(
+                seen.get(field_name) != point.get(field_name)
+                for field_name in ("label", "key", "status", "report")
+            ):
+                raise ValueError(
+                    f"conflicting results for point index {index} "
+                    f"({label!r}): shard outputs disagree"
+                )
+    points = [by_index[index] for index in sorted(by_index)]
+    if expansion_total is not None:
+        extra = sorted(set(by_index) - set(range(expansion_total)))
+        if extra:
+            raise ValueError(
+                f"point indices {extra} lie beyond the sweep's recorded "
+                f"expansion size {expansion_total}"
+            )
+        missing = sorted(set(range(expansion_total)) - set(by_index))
+        if missing:
+            raise ValueError(
+                f"merged shards are missing point indices {missing} of "
+                f"{expansion_total} (is a shard output file absent?)"
+            )
+    elif by_index:
+        missing = sorted(set(range(max(by_index) + 1)) - set(by_index))
+        if missing:
+            raise ValueError(
+                f"merged shards are missing point indices {missing} "
+                "(is a shard output file absent?)"
+            )
+    counts = _count_statuses(
+        ((point.get("status"), point.get("label")) for point in points),
+        {"total": len(points), "executed": 0, "cached": 0, "failed": 0},
+    )
+    merged = {"sweep": name, "stats": counts, "points": points}
+    if expansion_total is not None:
+        merged["expansion_total"] = expansion_total
+    return merged
 
 
 @dataclass
@@ -111,14 +340,12 @@ class SweepResult:
 
     @property
     def stats(self) -> dict:
+        """Status counts; an unrecognised status raises (never hidden)."""
         counts = {"total": len(self.points), "executed": 0, "cached": 0,
                   "failed": 0}
-        for point in self.points:
-            if point.status == "ok":
-                counts["executed"] += 1
-            elif point.status in counts:
-                counts[point.status] += 1
-        return counts
+        return _count_statuses(
+            ((p.status, p.label) for p in self.points), counts
+        )
 
     @property
     def ok(self) -> bool:
@@ -126,21 +353,10 @@ class SweepResult:
 
     def aggregate(self) -> SweepReport:
         """Fold every point into one cross-run :class:`SweepReport`."""
-        from repro.core.export import report_from_dict
-
-        entries = []
+        report = SweepReport(name=self.name)
         for point in self.points:
-            report = None
-            if point.payload is not None:
-                report = report_from_dict(point.payload["report"])
-            entries.append(SweepEntry(
-                label=point.label,
-                report=report,
-                status=point.status,
-                key=point.key,
-                error=point.error,
-            ))
-        return SweepReport(name=self.name, entries=entries)
+            report.add(point.to_entry())
+        return report
 
     def to_dict(self) -> dict:
         """JSON-serializable form (the ``repro sweep --out`` payload)."""
@@ -148,27 +364,8 @@ class SweepResult:
             "sweep": self.name,
             "stats": self.stats,
             "points": [
-                {
-                    "label": point.label,
-                    "key": point.key,
-                    "status": point.status,
-                    "config": (
-                        point.config.to_dict() if point.config is not None else None
-                    ),
-                    "report": (
-                        point.payload.get("report")
-                        if point.payload is not None
-                        else None
-                    ),
-                    "artifacts": (
-                        point.payload.get("artifacts", {})
-                        if point.payload is not None
-                        else {}
-                    ),
-                    "error": point.error,
-                    "duration": point.duration,
-                }
-                for point in self.points
+                point_dict(point, position)
+                for position, point in enumerate(self.points)
             ],
         }
 
@@ -188,74 +385,132 @@ class SweepRunner:
     execute:
         Point executor (injectable for tests/instrumentation); must have
         :func:`execute_point`'s contract and be picklable for ``jobs > 1``.
+    on_point:
+        Optional ``callable(result, position, total)`` streaming each
+        :class:`PointResult` (cached ones included) as it completes;
+        ``position`` indexes the point list of *this* run.
     """
 
     def __init__(self, jobs: int = 1, cache=None, progress=None,
-                 execute=execute_point):
+                 execute=execute_point, on_point=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
         self.execute = execute
+        self.on_point = on_point
 
     def _log(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
 
     # ------------------------------------------------------------------
-    def run(self, sweep) -> SweepResult:
-        """Execute ``sweep`` (a SweepConfig or list of SweepPoints)."""
+    def run(self, sweep, points=None) -> SweepResult:
+        """Execute ``sweep`` (a SweepConfig or list of SweepPoints).
+
+        ``points`` optionally supplies the pre-expanded (possibly
+        sharded) point list of a SweepConfig, so callers that already
+        expanded for validation or sharding never pay for — or risk
+        diverging from — a second expansion.
+        """
         if isinstance(sweep, SweepConfig):
             name = sweep.name
-            points = expand(sweep)
+            points = list(points) if points is not None else expand(sweep)
         else:
+            if points is not None:
+                raise TypeError(
+                    "pass the point list either as `sweep` or as `points`, "
+                    "not both"
+                )
             points = list(sweep)
             name = points[0].config.name if points else "sweep"
         for point in points:
             if not isinstance(point, SweepPoint):
                 raise TypeError(f"not a SweepPoint: {point!r}")
 
-        results: list[PointResult | None] = [None] * len(points)
-        pending: list[tuple[int, SweepPoint]] = []
-        for index, point in enumerate(points):
-            key = point.config.cache_key()
-            payload = self.cache.load(point.config) if self.cache else None
-            if payload is not None:
-                results[index] = PointResult(
-                    label=point.label, key=key, status="cached",
-                    payload=payload, config=point.config,
-                )
-                self._log(f"cached   {point.label}")
+        total = len(points)
+        results: list[PointResult | None] = [None] * total
+
+        def finish(position: int, result: PointResult) -> None:
+            results[position] = result
+            if result.status == "cached":
+                self._log(f"cached   {result.label}")
             else:
-                pending.append((index, point))
+                self._log(f"{result.status:8s} {result.label} "
+                          f"({result.duration:.1f}s)")
+            if self.on_point is not None:
+                self.on_point(result, position, total)
+
+        # Group positions by cache key: duplicate points (a no-op
+        # override, overlapping seed values, ...) execute exactly once
+        # and the single result fans out to every matching position.
+        groups: dict[str, list[int]] = {}
+        for position, point in enumerate(points):
+            groups.setdefault(point.config.cache_key(), []).append(position)
+
+        pending: list[str] = []
+        for key, positions in groups.items():
+            payload = (
+                self.cache.load(points[positions[0]].config)
+                if self.cache else None
+            )
+            if payload is None:
+                pending.append(key)
+                continue
+            for position in positions:
+                point = points[position]
+                finish(position, PointResult(
+                    label=point.label, key=key, status="cached",
+                    payload=payload, config=point.config, index=point.index,
+                ))
 
         if pending:
             tasks = [
-                {"index": index, "config": point.config.to_dict()}
-                for index, point in pending
+                {
+                    "index": groups[key][0],
+                    "config": points[groups[key][0]].config.to_dict(),
+                }
+                for key in pending
             ]
-            by_index = dict(pending)
+            by_task = {groups[key][0]: key for key in pending}
             for outcome in self._execute_all(tasks):
-                index = outcome["index"]
-                point = by_index[index]
-                result = PointResult(
-                    label=point.label,
-                    key=point.config.cache_key(),
-                    status=outcome["status"],
-                    payload=outcome.get("payload"),
-                    error=outcome.get("error"),
-                    traceback=outcome.get("traceback"),
-                    duration=outcome.get("duration", 0.0),
-                    config=point.config,
-                )
-                if result.status == "ok" and self.cache is not None:
-                    self.cache.store(point.config, result.payload)
-                results[index] = result
-                self._log(f"{result.status:8s} {point.label} "
-                          f"({result.duration:.1f}s)")
+                key = by_task.pop(outcome.get("index"), None)
+                if key is None:
+                    raise RuntimeError(
+                        "sweep executor returned a result for an unknown "
+                        f"or already-completed task index "
+                        f"{outcome.get('index')!r}"
+                    )
+                if outcome["status"] == "ok" and self.cache is not None:
+                    self.cache.store(
+                        points[groups[key][0]].config, outcome["payload"]
+                    )
+                for position in groups[key]:
+                    point = points[position]
+                    finish(position, PointResult(
+                        label=point.label,
+                        key=key,
+                        status=outcome["status"],
+                        payload=outcome.get("payload"),
+                        error=outcome.get("error"),
+                        traceback=outcome.get("traceback"),
+                        duration=outcome.get("duration", 0.0),
+                        config=point.config,
+                        index=point.index,
+                    ))
 
-        return SweepResult(name=name, points=[r for r in results if r])
+        lost = [
+            point.label
+            for point, result in zip(points, results)
+            if result is None
+        ]
+        if lost:
+            raise RuntimeError(
+                f"sweep executor lost {len(lost)} point(s): "
+                + ", ".join(lost)
+            )
+        return SweepResult(name=name, points=list(results))
 
     def _execute_all(self, tasks: list[dict]):
         """Yield outcomes for every task (unordered when parallel)."""

@@ -12,6 +12,12 @@ Axes address config fields by dotted path (``"quant.initial_bits"``,
 ``"lr"``); the special path ``"seed"`` sets ``model.seed`` and
 ``data.seed`` together, matching the CLI's ``--seed`` override so sweep
 points share cache entries with equivalent ``repro run`` invocations.
+
+Because every point is content-addressed (its config's ``cache_key()``),
+a sweep can also be *sharded* across hosts with zero coordination:
+:func:`shard_points` assigns each point to one of ``N`` shards by its
+cache key, so ``repro sweep --shard i/N`` on N machines covers the full
+grid exactly once.
 """
 
 from __future__ import annotations
@@ -49,7 +55,41 @@ class SweepAxis:
 
     @property
     def label(self) -> str:
+        """Shorthand label of this axis in isolation (last dotted segment).
+
+        Point labels use :func:`axis_labels` instead, which lengthens the
+        suffix when two axes of one sweep would otherwise collide (e.g.
+        ``model.seed`` vs ``data.seed``).
+        """
         return self.path.split(".")[-1]
+
+
+def axis_labels(axes) -> list[str]:
+    """Minimal distinguishing dotted-path suffix for each axis.
+
+    Every label starts as the last path segment and grows leftward only
+    while it collides with another axis' label, so ``quant.initial_bits``
+    alone labels ``initial_bits`` but ``model.seed`` next to ``data.seed``
+    labels ``model.seed`` / ``data.seed``.
+    """
+    segments = [axis.path.split(".") for axis in axes]
+    depths = [1] * len(axes)
+    while True:
+        labels = [
+            ".".join(parts[-depth:]) for parts, depth in zip(segments, depths)
+        ]
+        collisions = {label for label in labels if labels.count(label) > 1}
+        if not collisions:
+            return labels
+        grew = False
+        for i, label in enumerate(labels):
+            if label in collisions and depths[i] < len(segments[i]):
+                depths[i] += 1
+                grew = True
+        if not grew:
+            # Identical full paths; SweepConfig.__post_init__ rejects
+            # those, so this only happens for bare axis tuples.
+            return labels
 
 
 @dataclass(frozen=True)
@@ -90,6 +130,12 @@ class SweepConfig:
             raise ValueError(
                 f"duplicate sweep axes {sorted(duplicates)}: each config "
                 "path (including the `seeds` shorthand) may appear once"
+            )
+        overlap = {"model.seed", "data.seed"} & set(paths)
+        if "seed" in paths and overlap:
+            raise ValueError(
+                f"the `seed` axis (or `seeds` shorthand) already sets "
+                f"{sorted(overlap)}; drop one of the overlapping axes"
             )
         if self.mode == "zip" and self.effective_axes():
             lengths = {len(axis.values) for axis in self.effective_axes()}
@@ -168,11 +214,17 @@ class SweepConfig:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One concrete run of a sweep: a label plus its evolved config."""
+    """One concrete run of a sweep: a label plus its evolved config.
+
+    ``index`` is the point's position in the *full* expansion order;
+    :func:`shard_points` preserves it, so shard ``--out`` files can be
+    re-joined into the unsharded order by ``repro merge-sweeps``.
+    """
 
     label: str
     config: ExperimentConfig
     overrides: tuple = field(default_factory=tuple)  # ((axis label, value), ...)
+    index: int | None = None
 
 
 def _merge_overrides(overrides: list[dict]) -> dict:
@@ -213,10 +265,11 @@ def expand(sweep: SweepConfig) -> list[SweepPoint]:
     else:
         combos = list(itertools.product(*(axis.values for axis in axes)))
 
+    labels = axis_labels(axes)
     points = []
     for config in _base_configs(sweep):
         for combo in combos:
-            pairs = tuple(zip((axis.label for axis in axes), combo))
+            pairs = tuple(zip(labels, combo))
             overrides = _merge_overrides(
                 [axis.override_for(value) for axis, value in zip(axes, combo)]
             )
@@ -224,6 +277,71 @@ def expand(sweep: SweepConfig) -> list[SweepPoint]:
             suffix = ",".join(f"{label}={value}" for label, value in pairs)
             label = f"{config.name}[{suffix}]" if suffix else config.name
             points.append(
-                SweepPoint(label=label, config=point_config, overrides=pairs)
+                SweepPoint(label=label, config=point_config, overrides=pairs,
+                           index=len(points))
             )
     return points
+
+
+# ---------------------------------------------------------------------------
+# Sharding: partition an expanded point list across hosts.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of an N-way sweep partition (``index`` of ``total``)."""
+
+    index: int
+    total: int
+
+    def __post_init__(self):
+        if self.total < 1:
+            raise ValueError(f"shard total must be >= 1, got {self.total}")
+        if not 0 <= self.index < self.total:
+            raise ValueError(
+                f"shard index must be in [0, {self.total}), got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "ShardSpec":
+        """Parse an ``"i/N"`` CLI spec (e.g. ``"0/4"``)."""
+        index_text, sep, total_text = spec.partition("/")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            index, total = int(index_text), int(total_text)
+        except ValueError:
+            raise ValueError(
+                f"bad shard spec {spec!r} (expected I/N, e.g. 0/4)"
+            ) from None
+        return cls(index, total)
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.total}"
+
+
+def shard_assignment(point: SweepPoint, total: int) -> int:
+    """The shard (in ``[0, total)``) that owns ``point``.
+
+    Derived from the point's config ``cache_key()``, so the assignment
+    is a pure function of content: stable across processes and hosts,
+    independent of expansion order, and identical for duplicate points
+    (which therefore always land on the same shard).
+    """
+    return int(point.config.cache_key(), 16) % total
+
+
+def shard_points(points, shard: ShardSpec) -> list[SweepPoint]:
+    """The subset of ``points`` owned by ``shard``, in original order.
+
+    The N shards of a point list are pairwise disjoint and their union
+    is exactly the input — N hosts running ``repro sweep --shard i/N``
+    against the same sweep cover the full grid exactly once with zero
+    coordination.
+    """
+    if shard.total == 1:
+        return list(points)
+    return [
+        point for point in points
+        if shard_assignment(point, shard.total) == shard.index
+    ]

@@ -1,0 +1,276 @@
+"""CLI: sharded sweeps, cache transport, merge-sweeps, streaming --out."""
+
+import json
+
+import pytest
+
+from repro.api import experiments
+from repro.cli import _parse_axis, main
+from repro.orchestration import SweepConfig
+
+
+def micro_sweep_config():
+    return SweepConfig(
+        name="micro-dist",
+        base=experiments.get_config("vgg11-micro-smoke").evolve(
+            quant={"max_iterations": 1, "max_epochs_per_iteration": 1,
+                   "min_epochs_per_iteration": 1}
+        ),
+        seeds=(0, 1),
+    )
+
+
+def report_view(payload):
+    """The shard-invariant fields of a sweep --out payload (no durations)."""
+    return [
+        (p["index"], p["label"], p["key"], p["status"], p["config"],
+         p["report"], p["error"])
+        for p in payload["points"]
+    ]
+
+
+@pytest.fixture(scope="module")
+def dist(tmp_path_factory):
+    """Run the full two-host workflow once: shards, transport, merge."""
+    root = tmp_path_factory.mktemp("dist")
+    sweep_path = root / "sweep.json"
+    micro_sweep_config().to_json(sweep_path)
+
+    def sweep(out, cache_dir, *extra):
+        code = main(["sweep", "--config", str(sweep_path), "--quiet",
+                     "--out", str(root / out),
+                     "--cache-dir", str(root / cache_dir), *extra])
+        assert code == 0
+        return json.loads((root / out).read_text())
+
+    full = sweep("full.json", "cache-full")
+    shard0 = sweep("s0.json", "cache-a", "--shard", "0/2")
+    shard1 = sweep("s1.json", "cache-b", "--shard", "1/2")
+
+    # Host B publishes its cache as a tarball; host A imports it.
+    assert main(["cache", "export", "--cache-dir", str(root / "cache-b"),
+                 "--out", str(root / "b.tgz"), "--quiet"]) == 0
+    assert main(["cache", "import", str(root / "b.tgz"),
+                 "--cache-dir", str(root / "cache-a"), "--quiet"]) == 0
+    assert main(["merge-sweeps", str(root / "s0.json"), str(root / "s1.json"),
+                 "--out", str(root / "merged.json"), "--quiet"]) == 0
+    merged = json.loads((root / "merged.json").read_text())
+    return {"root": root, "sweep_path": sweep_path, "full": full,
+            "shard0": shard0, "shard1": shard1, "merged": merged}
+
+
+class TestShardedWorkflow:
+    def test_shards_partition_the_sweep(self, dist):
+        full_keys = {p["key"] for p in dist["full"]["points"]}
+        keys0 = {p["key"] for p in dist["shard0"]["points"]}
+        keys1 = {p["key"] for p in dist["shard1"]["points"]}
+        assert not keys0 & keys1
+        assert keys0 | keys1 == full_keys
+        assert dist["shard0"]["stats"]["total"] \
+            + dist["shard1"]["stats"]["total"] == 2
+
+    def test_merged_report_bit_identical_to_unsharded(self, dist):
+        assert report_view(dist["merged"]) == report_view(dist["full"])
+        assert dist["merged"]["stats"] == dist["full"]["stats"]
+
+    def test_merged_aggregate_equals_unsharded_aggregate(self, dist):
+        from repro.core.export import sweep_report_from_payload
+
+        assert sweep_report_from_payload(dist["merged"]) \
+            == sweep_report_from_payload(dist["full"])
+
+    def test_merged_cache_serves_unsharded_sweep(self, dist):
+        root = dist["root"]
+        code = main(["sweep", "--config", str(dist["sweep_path"]), "--quiet",
+                     "--out", str(root / "warm.json"),
+                     "--cache-dir", str(root / "cache-a")])
+        assert code == 0
+        warm = json.loads((root / "warm.json").read_text())
+        assert warm["stats"] == {"total": 2, "executed": 0, "cached": 2,
+                                 "failed": 0}
+        assert [p["report"] for p in warm["points"]] \
+            == [p["report"] for p in dist["full"]["points"]]
+
+    def test_bad_shard_spec_is_clean_error(self, dist, capsys):
+        assert main(["sweep", "--config", str(dist["sweep_path"]),
+                     "--quiet", "--shard", "2/2"]) == 2
+        err = capsys.readouterr().err
+        assert "shard index" in err and "Traceback" not in err
+
+    def test_conflicting_cache_merge_is_clean_error(self, dist, capsys,
+                                                    tmp_path):
+        from repro.orchestration import ResultCache
+
+        config = micro_sweep_config().base
+        conflicting = ResultCache(tmp_path / "conflict")
+        conflicting.store(
+            config.evolve(model={"seed": 0}, data={"seed": 0}),
+            {"report": {"architecture": "tampered", "dataset": "d",
+                        "layer_names": [], "rows": []}, "artifacts": {}},
+        )
+        code = main(["cache", "merge", str(tmp_path / "conflict"),
+                     "--cache-dir", str(dist["root"] / "cache-full")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "conflict" in err and "Traceback" not in err
+
+    def test_missing_cache_source_is_clean_error(self, dist, capsys):
+        assert main(["cache", "merge", str(dist["root"] / "nope"),
+                     "--cache-dir", str(dist["root"] / "cache-a")]) == 2
+        assert "no such cache source" in capsys.readouterr().err
+
+    def test_merge_sweeps_rejects_run_report_files(self, dist, capsys,
+                                                   tmp_path):
+        # Feeding a `repro run --out` report to merge-sweeps is a
+        # plausible mix-up; it must exit 2, not write an empty merge.
+        report = tmp_path / "run-report.json"
+        report.write_text(json.dumps(
+            {"config": {"name": "x"}, "report": {"rows": []}}
+        ))
+        assert main(["merge-sweeps", str(report),
+                     "--out", str(tmp_path / "m.json")]) == 2
+        err = capsys.readouterr().err
+        assert "not a sweep --out payload" in err and "Traceback" not in err
+        assert not (tmp_path / "m.json").exists()
+
+    def test_merge_sweeps_missing_file_is_clean_error(self, dist, capsys):
+        assert main(["merge-sweeps", str(dist["root"] / "absent.json"),
+                     "--out", str(dist["root"] / "x.json")]) == 2
+        assert "cannot read sweep output" in capsys.readouterr().err
+
+    def test_shard_outs_record_expansion_total(self, dist):
+        for name in ("full", "shard0", "shard1"):
+            assert dist[name]["expansion_total"] == 2
+
+    def test_merging_an_undercovering_shard_alone_fails(self, dist, capsys,
+                                                        tmp_path):
+        # Each shard file alone merges successfully iff it covers the
+        # whole recorded expansion (forgotten shard files fail loudly
+        # even when the missing points are an expansion-order suffix).
+        for name, payload in (("s0", dist["shard0"]), ("s1", dist["shard1"])):
+            code = main(["merge-sweeps", str(dist["root"] / f"{name}.json"),
+                         "--out", str(tmp_path / f"{name}-alone.json"),
+                         "--quiet"])
+            if len(payload["points"]) == payload["expansion_total"]:
+                assert code == 0
+            else:
+                assert code == 2
+                assert "missing point indices" in capsys.readouterr().err
+
+    def test_merge_sweeps_incomplete_shards_is_clean_error(self, dist,
+                                                           capsys, tmp_path):
+        # A shard file whose points skip index 0 means another shard's
+        # output is absent; merging must fail loudly, not reorder.
+        partial = dict(dist["full"])
+        partial["points"] = [
+            p for p in dist["full"]["points"] if p["index"] != 0
+        ]
+        partial_path = tmp_path / "partial.json"
+        partial_path.write_text(json.dumps(partial))
+        assert main(["merge-sweeps", str(partial_path),
+                     "--out", str(tmp_path / "bad.json")]) == 2
+        err = capsys.readouterr().err
+        assert "missing point indices" in err and "Traceback" not in err
+
+
+class TestStreamingOut:
+    def test_out_written_incrementally_and_valid_mid_sweep(self, tmp_path):
+        # Snapshot --out after every point event: each snapshot must be
+        # valid JSON with the full point skeleton.
+        sweep_path = tmp_path / "sweep.json"
+        micro_sweep_config().to_json(sweep_path)
+        out = tmp_path / "out.json"
+        snapshots = []
+
+        import repro.cli as cli
+
+        original = cli._SweepOutStream.on_point
+
+        def snapshotting(self, result, position, total):
+            original(self, result, position, total)
+            snapshots.append(json.loads(out.read_text()))
+
+        cli._SweepOutStream.on_point = snapshotting
+        try:
+            code = main(["sweep", "--config", str(sweep_path), "--quiet",
+                         "--out", str(out),
+                         "--cache-dir", str(tmp_path / "cache")])
+        finally:
+            cli._SweepOutStream.on_point = original
+        assert code == 0
+        assert len(snapshots) == 2
+        assert snapshots[0]["stats"] == {"total": 2, "executed": 1,
+                                         "cached": 0, "failed": 0,
+                                         "pending": 1}
+        statuses = [p["status"] for p in snapshots[0]["points"]]
+        assert sorted(statuses) == ["ok", "pending"]
+        # The final snapshot equals the file the CLI leaves behind.
+        assert snapshots[1] == json.loads(out.read_text())
+
+    def test_failed_point_leaves_valid_out(self, tmp_path):
+        bad_base = experiments.get_config("vgg11-micro-smoke").evolve(
+            prune={"enabled": True, "fused": True, "min_channels": 10000}
+        )
+        sweep_path = tmp_path / "sweep.json"
+        SweepConfig(name="bad", base=bad_base).to_json(sweep_path)
+        out = tmp_path / "out.json"
+        code = main(["sweep", "--config", str(sweep_path), "--quiet",
+                     "--out", str(out),
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 1  # failed point -> nonzero, but out is complete
+        payload = json.loads(out.read_text())
+        assert payload["stats"]["failed"] == 1
+        assert payload["points"][0]["error"]
+
+    def test_skeleton_written_before_first_point(self, tmp_path):
+        # An immediately-failing resolve still leaves no file; a started
+        # sweep writes the all-pending skeleton before training begins.
+        from repro.cli import _SweepOutStream
+        from repro.orchestration import expand
+
+        points = expand(micro_sweep_config())
+        out = tmp_path / "out.json"
+        _SweepOutStream(out, "micro-dist", points,
+                        expansion_total=len(points)).write()
+        payload = json.loads(out.read_text())
+        assert payload["stats"]["pending"] == 2
+        assert payload["expansion_total"] == 2
+        assert all(p["status"] == "pending" for p in payload["points"])
+
+
+class TestAxisParsing:
+    def test_quoted_json_string_may_contain_commas(self):
+        axis = _parse_axis('model.arch=["a,b"]')
+        assert axis.values == (["a,b"],)
+
+    def test_quoted_string_values_with_commas(self):
+        axis = _parse_axis('name="x,y","z"')
+        assert axis.values == ("x,y", "z")
+
+    def test_json_objects_survive_splitting(self):
+        axis = _parse_axis('extra={"a": 1, "b": 2},{"c": 3}')
+        assert axis.values == ({"a": 1, "b": 2}, {"c": 3})
+
+    def test_plain_values_split_as_before(self):
+        axis = _parse_axis("quant.initial_bits=8,16,32")
+        assert axis.values == (8, 16, 32)
+
+    def test_escaped_quote_inside_string(self):
+        axis = _parse_axis('name="a\\",b",c')
+        assert axis.values == ('a",b', "c")
+
+
+class TestSingleExpansion:
+    def test_cli_sweep_never_re_expands(self, tmp_path, monkeypatch):
+        # Regression: _resolve_sweep used to expand for validation and
+        # SweepRunner.run expanded again, rebuilding every preset config.
+        import repro.orchestration.runner as runner_mod
+
+        def boom(sweep):
+            raise AssertionError("runner re-expanded the sweep")
+
+        monkeypatch.setattr(runner_mod, "expand", boom)
+        sweep_path = tmp_path / "sweep.json"
+        micro_sweep_config().to_json(sweep_path)
+        assert main(["sweep", "--config", str(sweep_path), "--quiet",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0

@@ -1,0 +1,242 @@
+"""Cache transport: merge, tarball export/import, conflict detection."""
+
+import io
+import json
+import tarfile
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import CacheMergeConflict, ResultCache
+
+
+def config(seed=0):
+    base = experiments.get_config("vgg11-micro-smoke")
+    return base.evolve(model={"seed": seed}, data={"seed": seed})
+
+
+def payload(tag="x"):
+    return {"report": {"architecture": tag, "dataset": "y",
+                       "layer_names": [], "rows": []}, "artifacts": {}}
+
+
+class TestMerge:
+    def test_merge_copies_new_entries(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload())
+        source.store(config(1), payload())
+        dest = ResultCache(tmp_path / "dst")
+        stats = dest.merge(source)
+        assert stats == {"merged": 2, "identical": 0, "skipped_invalid": 0}
+        assert dest.load(config(0)) == payload()
+        assert dest.load(config(1)) == payload()
+
+    def test_merged_entries_byte_identical_to_stored(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload())
+        dest = ResultCache(tmp_path / "dst")
+        dest.merge(source)
+        key = config(0).cache_key()
+        assert dest.path_for(key).read_bytes() \
+            == source.path_for(key).read_bytes()
+
+    def test_identical_entries_are_not_rewritten(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload())
+        dest = ResultCache(tmp_path / "dst")
+        dest.store(config(0), payload())
+        stats = dest.merge(source)
+        assert stats == {"merged": 0, "identical": 1, "skipped_invalid": 0}
+
+    def test_conflict_raises_loudly(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload("from-host-a"))
+        dest = ResultCache(tmp_path / "dst")
+        dest.store(config(0), payload("from-host-b"))
+        with pytest.raises(CacheMergeConflict, match="conflict"):
+            dest.merge(source)
+        # The destination entry survives untouched.
+        assert dest.load(config(0)) == payload("from-host-b")
+
+    def test_conflict_detected_before_anything_is_written(self, tmp_path):
+        # Two-phase merge: a conflict on one key must stop the whole
+        # merge before the *other* (clean) key lands either.
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload("a"))
+        source.store(config(1), payload())
+        dest = ResultCache(tmp_path / "dst")
+        dest.store(config(0), payload("b"))
+        with pytest.raises(CacheMergeConflict):
+            dest.merge(source)
+        assert dest.load(config(1)) is None
+        assert dest.entry_count() == 1
+
+    def test_corrupt_source_entries_skipped_and_counted(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        path = source.store(config(0), payload())
+        path.write_text("garbage")
+        source.store(config(1), payload())
+        dest = ResultCache(tmp_path / "dst")
+        stats = dest.merge(source)
+        assert stats == {"merged": 1, "identical": 0, "skipped_invalid": 1}
+
+    def test_merge_accepts_bare_path(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload())
+        dest = ResultCache(tmp_path / "dst")
+        stats = dest.merge(tmp_path / "src")
+        assert stats["merged"] == 1
+
+    def test_merge_overwrites_corrupt_destination_entry(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload())
+        dest = ResultCache(tmp_path / "dst")
+        dest.store(config(0), payload()).write_text("{broken")
+        stats = dest.merge(source)
+        assert stats["merged"] == 1
+        assert dest.load(config(0)) == payload()
+
+
+class TestArchive:
+    def test_export_import_round_trip(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload())
+        source.store(config(1), payload())
+        archive = tmp_path / "cache.tgz"
+        stats = source.export_archive(archive)
+        assert stats == {"exported": 2, "skipped_invalid": 0}
+
+        dest = ResultCache(tmp_path / "dst")
+        stats = dest.import_archive(archive)
+        assert stats == {"merged": 2, "identical": 0, "skipped_invalid": 0}
+        assert dest.load(config(0)) == payload()
+        assert dest.load(config(1)) == payload()
+
+    def test_archive_members_use_cache_layout(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload())
+        archive = tmp_path / "cache.tgz"
+        source.export_archive(archive)
+        key = config(0).cache_key()
+        with tarfile.open(archive) as tar:
+            assert tar.getnames() == [f"{key[:2]}/{key}.json"]
+
+    def test_import_conflict_raises(self, tmp_path):
+        source = ResultCache(tmp_path / "src")
+        source.store(config(0), payload("a"))
+        archive = tmp_path / "cache.tgz"
+        source.export_archive(archive)
+        dest = ResultCache(tmp_path / "dst")
+        dest.store(config(0), payload("b"))
+        with pytest.raises(CacheMergeConflict):
+            dest.import_archive(archive)
+
+    def test_import_skips_foreign_and_hostile_members(self, tmp_path):
+        key = config(0).cache_key()
+        entry = json.loads(
+            ResultCache(tmp_path / "scratch")
+            .store(config(0), payload())
+            .read_text()
+        )
+        archive = tmp_path / "mixed.tgz"
+        with tarfile.open(archive, "w:gz") as tar:
+            for name, data in [
+                ("../escape.json", b"{}"),
+                ("README.txt", b"hello"),
+                ("ab/deadbeef.json", b"{}"),  # malformed key
+                (f"{key[:2]}/{key}.json",
+                 json.dumps(entry).encode("utf-8")),
+            ]:
+                info = tarfile.TarInfo(name)
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+        dest = ResultCache(tmp_path / "dst")
+        stats = dest.import_archive(archive)
+        assert stats["merged"] == 1
+        assert stats["skipped_invalid"] == 3
+        assert dest.load(config(0)) == payload()
+        assert not (tmp_path / "escape.json").exists()
+
+    def test_import_skips_entry_whose_key_mismatches_filename(self, tmp_path):
+        entry = json.loads(
+            ResultCache(tmp_path / "scratch")
+            .store(config(0), payload())
+            .read_text()
+        )
+        wrong = "0" * 64
+        archive = tmp_path / "bad.tgz"
+        with tarfile.open(archive, "w:gz") as tar:
+            data = json.dumps(entry).encode("utf-8")
+            info = tarfile.TarInfo(f"{wrong[:2]}/{wrong}.json")
+            info.size = len(data)
+            tar.addfile(info, io.BytesIO(data))
+        dest = ResultCache(tmp_path / "dst")
+        stats = dest.import_archive(archive)
+        assert stats == {"merged": 0, "identical": 0, "skipped_invalid": 1}
+
+    def test_import_duplicate_members_with_same_content_dedupe(self, tmp_path):
+        key = config(0).cache_key()
+        entry = json.loads(
+            ResultCache(tmp_path / "scratch")
+            .store(config(0), payload())
+            .read_text()
+        )
+        archive = tmp_path / "dup.tgz"
+        with tarfile.open(archive, "w:gz") as tar:
+            data = json.dumps(entry).encode("utf-8")
+            for _ in range(2):
+                info = tarfile.TarInfo(f"{key[:2]}/{key}.json")
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+        dest = ResultCache(tmp_path / "dst")
+        stats = dest.import_archive(archive)
+        assert stats == {"merged": 1, "identical": 1, "skipped_invalid": 0}
+        assert dest.load(config(0)) == payload()
+
+    def test_import_duplicate_members_with_different_content_conflict(
+            self, tmp_path):
+        # A re-packed archive carrying one key twice with different
+        # payloads must abort, never resolve last-wins.
+        key = config(0).cache_key()
+        scratch = ResultCache(tmp_path / "scratch")
+        entries = []
+        for tag in ("a", "b"):
+            entries.append(json.loads(
+                scratch.store(config(0), payload(tag)).read_text()
+            ))
+        archive = tmp_path / "conflict.tgz"
+        with tarfile.open(archive, "w:gz") as tar:
+            for entry in entries:
+                data = json.dumps(entry).encode("utf-8")
+                info = tarfile.TarInfo(f"{key[:2]}/{key}.json")
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+        dest = ResultCache(tmp_path / "dst")
+        with pytest.raises(CacheMergeConflict):
+            dest.import_archive(archive)
+        assert dest.entry_count() == 0
+
+    def test_export_empty_cache(self, tmp_path):
+        archive = tmp_path / "empty.tgz"
+        stats = ResultCache(tmp_path / "nope").export_archive(archive)
+        assert stats["exported"] == 0
+        assert ResultCache(tmp_path / "dst").import_archive(archive) \
+            == {"merged": 0, "identical": 0, "skipped_invalid": 0}
+
+
+class TestEntryAccess:
+    def test_keys_sorted_and_filtered(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(config(0), payload())
+        cache.store(config(1), payload())
+        (tmp_path / "cache" / "zz").mkdir()
+        (tmp_path / "cache" / "zz" / "not-a-key.json").write_text("{}")
+        expected = sorted([config(0).cache_key(), config(1).cache_key()])
+        assert cache.keys() == expected
+
+    def test_read_entry_validates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(config(0), payload())
+        key = config(0).cache_key()
+        assert cache.read_entry(key)["payload"] == payload()
+        assert cache.read_entry("0" * 64) is None

@@ -121,6 +121,39 @@ class TestFailureIsolation:
         assert cache.entry_count() == 0
 
 
+class TestDeduplication:
+    def test_duplicate_points_execute_once(self):
+        # Overlapping seed values collapse to one config -> one training
+        # run, fanned out to every matching point.
+        executor = CountingExecutor()
+        result = SweepRunner(execute=executor).run(micro_sweep(seeds=(0, 0, 1)))
+        assert executor.calls == 2
+        assert result.stats == {"total": 3, "executed": 3, "cached": 0,
+                                "failed": 0}
+        assert result.points[0].payload == result.points[1].payload
+        assert [p.label for p in result.points] == [
+            "vgg11-micro-smoke[seed=0]",
+            "vgg11-micro-smoke[seed=0]",
+            "vgg11-micro-smoke[seed=1]",
+        ]
+
+    def test_duplicate_points_store_one_cache_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache).run(micro_sweep(seeds=(0, 0)))
+        assert cache.entry_count() == 1
+
+    def test_duplicates_in_parallel_mode(self):
+        result = SweepRunner(jobs=2).run(micro_sweep(seeds=(0, 1, 0)))
+        assert result.points[0].payload == result.points[2].payload
+        assert result.stats["executed"] == 3
+
+    def test_cached_duplicates_all_marked_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache).run(micro_sweep(seeds=(0,)))
+        result = SweepRunner(cache=cache).run(micro_sweep(seeds=(0, 0)))
+        assert [p.status for p in result.points] == ["cached", "cached"]
+
+
 class TestCaching:
     def test_second_invocation_runs_nothing(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -1,0 +1,130 @@
+"""Sharding: deterministic partitioning of sweep points across hosts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import (
+    ShardSpec,
+    SweepConfig,
+    expand,
+    shard_assignment,
+    shard_points,
+)
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def six_point_sweep():
+    return SweepConfig(
+        name="six",
+        base=experiments.get_config("vgg11-micro-smoke"),
+        seeds=(0, 1, 2, 3, 4, 5),
+    )
+
+
+class TestShardSpec:
+    def test_parse(self):
+        assert ShardSpec.parse("0/4") == ShardSpec(0, 4)
+        assert ShardSpec.parse("3/4") == ShardSpec(3, 4)
+        assert str(ShardSpec(1, 3)) == "1/3"
+
+    @pytest.mark.parametrize("spec", ["", "1", "a/b", "1/", "/2", "0.5/2"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError, match="bad shard spec"):
+            ShardSpec.parse(spec)
+
+    @pytest.mark.parametrize("index,total", [(4, 4), (-1, 2), (0, 0), (2, 1)])
+    def test_out_of_range_rejected(self, index, total):
+        with pytest.raises(ValueError):
+            ShardSpec(index, total)
+
+
+class TestPartition:
+    def test_union_is_full_set_and_shards_are_disjoint(self):
+        points = expand(six_point_sweep())
+        for total in (1, 2, 3, 4):
+            shards = [
+                shard_points(points, ShardSpec(i, total)) for i in range(total)
+            ]
+            keys = [
+                {p.config.cache_key() for p in shard} for shard in shards
+            ]
+            # Pairwise disjoint...
+            assert sum(len(k) for k in keys) == len(set().union(*keys))
+            # ...and the union is exactly the unsharded point set.
+            assert set().union(*keys) == {p.config.cache_key() for p in points}
+
+    def test_shards_preserve_expansion_order_and_indices(self):
+        points = expand(six_point_sweep())
+        for i in range(3):
+            shard = shard_points(points, ShardSpec(i, 3))
+            indices = [p.index for p in shard]
+            assert indices == sorted(indices)
+            for point in shard:
+                assert points[point.index] == point
+
+    def test_single_shard_is_identity(self):
+        points = expand(six_point_sweep())
+        assert shard_points(points, ShardSpec(0, 1)) == points
+
+    def test_assignment_is_content_addressed(self):
+        # Same config => same shard, regardless of position or label.
+        points = expand(six_point_sweep())
+        relabeled = [
+            type(p)(label=f"x{i}", config=p.config, index=i)
+            for i, p in enumerate(reversed(points))
+        ]
+        for point, twin in zip(points, reversed(relabeled)):
+            assert shard_assignment(point, 4) == shard_assignment(twin, 4)
+
+    def test_duplicate_points_share_a_shard(self):
+        points = expand(six_point_sweep())
+        twin = type(points[0])(label="twin", config=points[0].config, index=99)
+        for total in (2, 3, 5):
+            assert shard_assignment(points[0], total) \
+                == shard_assignment(twin, total)
+
+    def test_expand_assigns_contiguous_indices(self):
+        points = expand(six_point_sweep())
+        assert [p.index for p in points] == list(range(len(points)))
+
+    def test_assignment_stable_across_processes(self):
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.api import experiments\n"
+            "from repro.orchestration import (ShardSpec, SweepConfig,\n"
+            "                                 expand, shard_points)\n"
+            "sweep = SweepConfig(name='six',\n"
+            "    base=experiments.get_config('vgg11-micro-smoke'),\n"
+            "    seeds=(0, 1, 2, 3, 4, 5))\n"
+            "shard = shard_points(expand(sweep), ShardSpec(0, 3))\n"
+            "print('\\n'.join(p.label for p in shard))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, SRC],
+            capture_output=True, text=True, check=True,
+        )
+        local = shard_points(expand(six_point_sweep()), ShardSpec(0, 3))
+        assert out.stdout.split() == [p.label for p in local]
+
+
+class TestShardAwarePresets:
+    def test_get_sweep_points_matches_expand(self):
+        assert experiments.get_sweep_points("smoke-seeds") \
+            == expand(experiments.get_sweep("smoke-seeds"))
+
+    def test_get_sweep_points_shard_union(self):
+        full = experiments.get_sweep_points("smoke-seeds")
+        shard0 = experiments.get_sweep_points("smoke-seeds", shard="0/2")
+        shard1 = experiments.get_sweep_points("smoke-seeds", shard="1/2")
+        assert sorted(p.label for p in shard0 + shard1) \
+            == sorted(p.label for p in full)
+        assert not {p.label for p in shard0} & {p.label for p in shard1}
+
+    def test_get_sweep_points_accepts_shard_spec(self):
+        assert experiments.get_sweep_points("smoke-seeds", ShardSpec(0, 2)) \
+            == experiments.get_sweep_points("smoke-seeds", shard="0/2")

@@ -1,0 +1,257 @@
+"""Streaming aggregation: on_point events, incremental report folding."""
+
+import json
+
+import pytest
+
+from repro.api import experiments
+from repro.core.report import SweepReport
+from repro.orchestration import (
+    ResultCache,
+    SweepConfig,
+    SweepPoint,
+    SweepRunner,
+    execute_point,
+    expand,
+    merge_sweep_payloads,
+    sweep_out_payload,
+)
+
+
+def micro_sweep(seeds=(0, 1)):
+    return SweepConfig(
+        name="micro",
+        base=experiments.get_config("vgg11-micro-smoke").evolve(
+            quant={"max_iterations": 1, "max_epochs_per_iteration": 1,
+                   "min_epochs_per_iteration": 1}
+        ),
+        seeds=tuple(seeds),
+    )
+
+
+class TestOnPoint:
+    def test_every_point_streams_exactly_once(self):
+        events = []
+        result = SweepRunner(
+            on_point=lambda r, position, total: events.append(
+                (r.label, r.status, position, total)
+            )
+        ).run(micro_sweep())
+        assert sorted(events) == sorted([
+            ("vgg11-micro-smoke[seed=0]", "ok", 0, 2),
+            ("vgg11-micro-smoke[seed=1]", "ok", 1, 2),
+        ])
+        assert result.stats["executed"] == 2
+
+    def test_cached_points_stream_too(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache).run(micro_sweep())
+        statuses = []
+        SweepRunner(
+            cache=cache,
+            on_point=lambda r, position, total: statuses.append(r.status),
+        ).run(micro_sweep())
+        assert statuses == ["cached", "cached"]
+
+    def test_parallel_streaming_covers_every_point(self):
+        labels = set()
+        SweepRunner(
+            jobs=2,
+            on_point=lambda r, position, total: labels.add(r.label),
+        ).run(micro_sweep(seeds=(0, 1, 2)))
+        assert labels == {
+            "vgg11-micro-smoke[seed=0]",
+            "vgg11-micro-smoke[seed=1]",
+            "vgg11-micro-smoke[seed=2]",
+        }
+
+    def test_failed_points_stream_with_error(self):
+        bad = experiments.get_config("vgg11-micro-smoke").evolve(
+            prune={"enabled": True, "fused": True, "min_channels": 10000}
+        )
+        events = []
+        SweepRunner(
+            on_point=lambda r, position, total: events.append(r)
+        ).run([SweepPoint(label="bad", config=bad)])
+        (event,) = events
+        assert event.status == "failed" and event.error
+
+    def test_streamed_fold_matches_batch_aggregate(self):
+        streamed = SweepReport(name="micro")
+        result = SweepRunner(
+            on_point=lambda r, position, total: streamed.add(r.to_entry())
+        ).run(micro_sweep())
+        assert streamed == result.aggregate()
+
+
+class TestOutPayload:
+    def test_partial_payload_marks_pending(self):
+        points = expand(micro_sweep())
+        first = SweepRunner().run([points[0]]).points[0]
+        payload = sweep_out_payload("micro", points, [first, None])
+        assert payload["stats"] == {"total": 2, "executed": 1, "cached": 0,
+                                    "failed": 0, "pending": 1}
+        assert [p["status"] for p in payload["points"]] == ["ok", "pending"]
+        assert payload["points"][1]["label"] == points[1].label
+        json.dumps(payload)  # JSON-serializable at any moment
+
+    def test_complete_payload_equals_to_dict(self):
+        points = expand(micro_sweep())
+        result = SweepRunner().run(micro_sweep(), points=points)
+        assert sweep_out_payload("micro", points, result.points) \
+            == result.to_dict()
+
+    def test_point_dicts_carry_expansion_indices(self):
+        result = SweepRunner().run(micro_sweep())
+        assert [p["index"] for p in result.to_dict()["points"]] == [0, 1]
+
+
+class TestMergeSweepPayloads:
+    def complete_payload(self):
+        points = expand(micro_sweep())
+        return SweepRunner().run(micro_sweep(), points=points).to_dict()
+
+    def split(self, payload):
+        halves = []
+        for keep in (lambda i: i % 2 == 0, lambda i: i % 2 == 1):
+            half = dict(payload)
+            half["points"] = [
+                p for i, p in enumerate(payload["points"]) if keep(i)
+            ]
+            halves.append(half)
+        return halves
+
+    def test_merge_restores_unsharded_payload(self):
+        payload = self.complete_payload()
+        merged = merge_sweep_payloads(self.split(payload))
+        assert merged == payload
+
+    def test_overlapping_identical_points_deduplicate(self):
+        payload = self.complete_payload()
+        merged = merge_sweep_payloads([payload, payload])
+        assert merged == payload
+
+    def test_conflicting_duplicates_rejected(self):
+        payload = self.complete_payload()
+        clone = json.loads(json.dumps(payload))
+        clone["points"][0]["key"] = "0" * 64
+        with pytest.raises(ValueError, match="conflicting results"):
+            merge_sweep_payloads([payload, clone])
+
+    def test_missing_indices_rejected(self):
+        # A gap below the highest index means a shard file is absent.
+        # (A missing *tail* is undetectable without coordination.)
+        payload = self.complete_payload()
+        (_, odd_half) = self.split(payload)
+        with pytest.raises(ValueError, match="missing point indices"):
+            merge_sweep_payloads([odd_half])
+
+    def test_pending_points_rejected(self):
+        payload = self.complete_payload()
+        payload["points"][0]["status"] = "pending"
+        with pytest.raises(ValueError, match="pending"):
+            merge_sweep_payloads([payload])
+
+    def test_differing_names_need_explicit_name(self):
+        payload = self.complete_payload()
+        other = dict(payload, sweep="other")
+        with pytest.raises(ValueError, match="names differ"):
+            merge_sweep_payloads([payload, other])
+        merged = merge_sweep_payloads([payload, other], name="joined")
+        assert merged["sweep"] == "joined"
+
+    def test_missing_tail_detected_via_expansion_total(self):
+        # Without a recorded expansion size a missing *suffix* is
+        # invisible; shard --out files carry `expansion_total` so a
+        # forgotten tail shard file fails loudly too.
+        payload = self.complete_payload()
+        payload["expansion_total"] = len(payload["points"])
+        head = dict(payload)
+        head["points"] = payload["points"][:1]
+        with pytest.raises(ValueError, match="missing point indices"):
+            merge_sweep_payloads([head])
+
+    def test_expansion_total_disagreement_rejected(self):
+        payload = self.complete_payload()
+        a = dict(payload, expansion_total=2)
+        b = dict(payload, expansion_total=3)
+        with pytest.raises(ValueError, match="disagree on the sweep's"):
+            merge_sweep_payloads([a, b])
+
+    def test_indices_beyond_expansion_total_rejected(self):
+        payload = self.complete_payload()
+        payload["expansion_total"] = 1
+        with pytest.raises(ValueError, match="beyond"):
+            merge_sweep_payloads([payload])
+
+    def test_expansion_total_carried_into_merged_payload(self):
+        payload = self.complete_payload()
+        payload["expansion_total"] = len(payload["points"])
+        assert merge_sweep_payloads([payload])["expansion_total"] \
+            == len(payload["points"])
+
+    def test_index_free_points_rejected(self):
+        payload = self.complete_payload()
+        del payload["points"][0]["index"]
+        with pytest.raises(ValueError, match="no expansion index"):
+            merge_sweep_payloads([payload])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="no sweep payloads"):
+            merge_sweep_payloads([])
+
+    def test_non_sweep_payloads_rejected(self):
+        # A `repro run` report (or any other JSON) must fail loudly,
+        # not merge into an empty aggregate.
+        run_report = {"config": {"name": "x"}, "report": {"rows": []}}
+        with pytest.raises(ValueError, match="not a sweep --out payload"):
+            merge_sweep_payloads([run_report])
+        with pytest.raises(ValueError, match="not a sweep --out payload"):
+            merge_sweep_payloads([self.complete_payload(),
+                                  {"sweep": None, "points": []}])
+        with pytest.raises(ValueError, match="not a sweep --out payload"):
+            merge_sweep_payloads([{"sweep": "x", "points": None}])
+
+
+class TestRunnerAccounting:
+    def test_lost_result_raises_instead_of_silent_drop(self):
+        dropped = []
+
+        def dropping_executor(task):
+            dropped.append(task["index"])
+            outcome = execute_point(task)
+            return outcome if len(dropped) == 1 else None
+
+        class SwallowingRunner(SweepRunner):
+            def _execute_all(self, tasks):
+                for task in tasks:
+                    outcome = self.execute(task)
+                    if outcome is not None:
+                        yield outcome
+
+        with pytest.raises(RuntimeError, match="lost 1 point"):
+            SwallowingRunner(execute=dropping_executor).run(micro_sweep())
+
+    def test_mislabeled_result_raises(self):
+        def mislabeling_executor(task):
+            outcome = execute_point(task)
+            outcome["index"] = 999
+            return outcome
+
+        with pytest.raises(RuntimeError, match="unknown"):
+            SweepRunner(execute=mislabeling_executor).run(micro_sweep())
+
+    def test_duplicate_result_index_raises(self):
+        def stuck_executor(task):
+            outcome = execute_point(task)
+            outcome["index"] = 0
+            return outcome
+
+        with pytest.raises(RuntimeError, match="already-completed"):
+            SweepRunner(execute=stuck_executor).run(micro_sweep())
+
+    def test_stats_rejects_unknown_status(self):
+        result = SweepRunner().run(micro_sweep(seeds=(0,)))
+        result.points[0].status = "weird"
+        with pytest.raises(ValueError, match="unknown point status"):
+            result.stats

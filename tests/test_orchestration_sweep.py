@@ -112,6 +112,35 @@ class TestExpansion:
         assert point.config == base()
         assert point.label == "vgg11-micro-smoke"
 
+    def test_colliding_axis_labels_disambiguated(self):
+        # model.seed and data.seed must NOT both label "seed".
+        sweep = SweepConfig(
+            name="two-seeds",
+            base=base(),
+            mode="zip",
+            axes=(
+                SweepAxis("model.seed", (0, 1)),
+                SweepAxis("data.seed", (2, 3)),
+            ),
+        )
+        points = expand(sweep)
+        assert points[0].overrides == (("model.seed", 0), ("data.seed", 2))
+        assert points[0].label \
+            == "vgg11-micro-smoke[model.seed=0,data.seed=2]"
+        assert len({p.label for p in points}) == len(points)
+
+    def test_non_colliding_labels_stay_short(self):
+        sweep = SweepConfig(
+            name="mixed",
+            base=base(),
+            axes=(
+                SweepAxis("quant.initial_bits", (8,)),
+                SweepAxis("model.seed", (0,)),
+            ),
+        )
+        (point,) = expand(sweep)
+        assert point.overrides == (("initial_bits", 8), ("seed", 0))
+
 
 class TestValidation:
     def test_base_xor_presets(self):
@@ -146,6 +175,27 @@ class TestValidation:
                 base=base(),
                 axes=(SweepAxis("seed", (0, 1)),),
                 seeds=(2, 3),
+            )
+
+    def test_seed_shorthand_overlapping_explicit_seed_axis_rejected(self):
+        # `seed` silently clobbers model.seed/data.seed in the merged
+        # override, so the combination is an input error.
+        with pytest.raises(ValueError, match="already sets"):
+            SweepConfig(
+                name="overlap",
+                base=base(),
+                axes=(SweepAxis("model.seed", (0, 1)),),
+                seeds=(2, 3),
+            )
+        with pytest.raises(ValueError, match="already sets"):
+            SweepConfig(
+                name="overlap2",
+                base=base(),
+                mode="zip",
+                axes=(
+                    SweepAxis("seed", (0, 1)),
+                    SweepAxis("data.seed", (2, 3)),
+                ),
             )
 
 
