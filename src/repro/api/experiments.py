@@ -183,6 +183,89 @@ def get_sweep_points(name: str, shard=None) -> list:
     return shard_points(points, spec)
 
 
+# ---------------------------------------------------------------------------
+# Search presets — adaptive AD-guided bit-width searches and successive-
+# halving grids, runnable via `repro search --preset`.  Lazy for the same
+# reason as the sweep registry.
+# ---------------------------------------------------------------------------
+
+_SEARCHES: dict = {}
+_SEARCHES_READY = False
+
+
+def register_search(search) -> object:
+    """Add a search preset to the registry (name collisions are errors)."""
+    _ensure_searches()
+    if search.name in _SEARCHES:
+        raise ValueError(f"search preset {search.name!r} already registered")
+    _SEARCHES[search.name] = search
+    return search
+
+
+def search_names() -> list[str]:
+    """All registered search preset names, sorted."""
+    _ensure_searches()
+    return sorted(_SEARCHES)
+
+
+def get_search(name: str):
+    """Look up a search preset (without running anything)."""
+    _ensure_searches()
+    try:
+        return _SEARCHES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown search preset {name!r}; available: "
+            f"{', '.join(search_names())}"
+        ) from None
+
+
+def _ensure_searches() -> None:
+    global _SEARCHES_READY
+    if _SEARCHES_READY:
+        return
+    from repro.orchestration.search import SearchConfig
+    from repro.orchestration.sweep import SweepAxis
+
+    _SEARCHES["search-vgg19-bits"] = SearchConfig(
+        name="search-vgg19-bits",
+        description=("AD-guided starting-precision search on the Table "
+                     "II(a) workload (eqn. 3 lifted to the schedule)."),
+        preset="vgg19-cifar10-quant",
+        strategy="ad-bits",
+        objective="energy_efficiency",
+        accuracy_drop=0.10,
+        max_trials=5,
+        min_bits=2,
+    )
+    _SEARCHES["search-vgg19-halving"] = SearchConfig(
+        name="search-vgg19-halving",
+        description=("Successive halving over VGG19 starting precisions: "
+                     "one cheap iteration prunes the grid, survivors get "
+                     "the full schedule."),
+        preset="vgg19-cifar10-quant",
+        strategy="halving",
+        objective="energy_efficiency",
+        axes=(SweepAxis("quant.initial_bits", (4, 8, 16, 32)),),
+        budget_path="quant.max_iterations",
+        budgets=(1, 3),
+        keep=0.5,
+    )
+    _SEARCHES["search-smoke-bits"] = SearchConfig(
+        name="search-smoke-bits",
+        description=("Seconds-scale AD bit-width search for CI "
+                     "(<= 4 trained trials)."),
+        preset="vgg11-micro-smoke",
+        strategy="ad-bits",
+        objective="energy_efficiency",
+        accuracy_drop=0.30,
+        max_trials=4,
+        min_bits=2,
+    )
+    # Only mark ready once every preset built (see _ensure_sweeps).
+    _SEARCHES_READY = True
+
+
 def _ensure_sweeps() -> None:
     global _SWEEPS_READY
     if _SWEEPS_READY:

@@ -8,11 +8,13 @@ Usage::
     python -m repro sweep --preset table2-vgg19-seeds --jobs 4
     python -m repro sweep --preset vgg11-micro-smoke --seeds 0,1,2,3
     python -m repro sweep --preset table2-grid --shard 0/2 --out s0.json
+    python -m repro search --preset search-vgg19-bits --out search.json
     python -m repro cache export --out cache.tgz
     python -m repro cache merge /mnt/hostb/.repro-cache
     python -m repro merge-sweeps s0.json s1.json --out merged.json
     python -m repro presets [--verbose]
     python -m repro sweeps [--verbose]
+    python -m repro searches [--verbose]
     python -m repro show --preset vgg19-cifar10-quant
 
 ``run`` resolves a registry preset (or a JSON config file), executes the
@@ -21,12 +23,17 @@ writes a JSON (or CSV) report.  ``sweep`` fans a base config out over
 override axes and executes the points through the orchestration layer —
 optionally in parallel workers, optionally one deterministic shard of
 the grid per host — streaming every finished point into an
-incrementally rewritten ``--out`` aggregate.  ``cache export/import/
+incrementally rewritten ``--out`` aggregate.  ``search`` runs an
+*adaptive* schedule instead: finished trials propose the next ones
+(AD-guided bit-width descent or successive halving), so it cannot be
+sharded — ``--shard`` is rejected with an explanation — but trials
+share the result cache like any other run.  ``cache export/import/
 merge`` move result-cache entries between hosts and ``merge-sweeps``
 joins shard ``--out`` files back into the unsharded aggregate.
-Both commands share the content-addressed result cache under
+All commands share the content-addressed result cache under
 ``.repro-cache/`` (opt-in for ``run`` via ``--cache``, default for
-``sweep``; identical configs hit the same entry from either command).
+``sweep`` and ``search``; identical configs hit the same entry from any
+command).
 """
 
 from __future__ import annotations
@@ -356,20 +363,25 @@ class _SweepOutStream:
     rest.
     """
 
-    def __init__(self, path, name: str, points, expansion_total: int):
-        from repro.orchestration import pending_point_dict
-
+    def __init__(self, path, name: str, points, expansion_total: int | None):
         self.path = path
         self.name = name
-        self.points = points
+        self.points = []
         self.expansion_total = expansion_total
-        self.results = [None] * len(points)
+        self.results = []
         # Per-point entries are built once (placeholders now, real
         # entries as results land), not re-serialized on every rewrite.
-        self.point_dicts = [
-            pending_point_dict(point, position)
-            for position, point in enumerate(points)
-        ]
+        self.point_dicts = []
+        self._append(points)
+
+    def _append(self, points) -> None:
+        from repro.orchestration import pending_point_dict
+
+        for point in points:
+            position = len(self.points)
+            self.points.append(point)
+            self.results.append(None)
+            self.point_dicts.append(pending_point_dict(point, position))
 
     def on_point(self, result, position, total) -> None:
         from repro.orchestration import point_dict
@@ -378,14 +390,17 @@ class _SweepOutStream:
         self.point_dicts[position] = point_dict(result, position)
         self.write()
 
-    def write(self) -> None:
+    def _payload(self) -> dict:
         from repro.orchestration import sweep_out_payload
+
+        return sweep_out_payload(self.name, self.points, self.results,
+                                 expansion_total=self.expansion_total,
+                                 point_dicts=self.point_dicts)
+
+    def write(self) -> None:
         from repro.utils.serialization import atomic_write
 
-        payload = sweep_out_payload(self.name, self.points, self.results,
-                                    expansion_total=self.expansion_total,
-                                    point_dicts=self.point_dicts)
-        data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        data = (json.dumps(self._payload(), indent=2) + "\n").encode("utf-8")
         atomic_write(self.path, lambda handle: handle.write(data))
 
 
@@ -434,9 +449,155 @@ def _cmd_sweep(args) -> int:
             f"points: {stats['total']}{shard_note} "
             f"(executed {stats['executed']}, "
             f"cached {stats['cached']}, failed {stats['failed']})"
+            + _cache_note(stats)
         )
         if args.out:
             print(f"sweep results written to {args.out}")
+    return 0 if result.ok else 1
+
+
+def _cache_note(stats: dict) -> str:
+    """The summary-line suffix surfacing result-cache activity."""
+    if "cache_hits" not in stats:
+        return ""
+    return (f"; cache: {stats['cache_hits']} hit(s), "
+            f"{stats['cache_misses']} miss(es)")
+
+
+# ---------------------------------------------------------------------------
+# Adaptive searches
+# ---------------------------------------------------------------------------
+
+def _resolve_search(args):
+    """Resolve CLI args to a SearchConfig (preset or JSON file)."""
+    from repro.orchestration.search import SearchConfig
+
+    try:
+        if args.config:
+            search = SearchConfig.from_json(args.config)
+        else:
+            try:
+                search = experiments.get_search(args.preset)
+            except KeyError:
+                raise CLIError(
+                    f"unknown search preset {args.preset!r}; available: "
+                    f"{', '.join(experiments.search_names())}"
+                ) from None
+        overrides = {}
+        if args.max_trials is not None:
+            overrides["max_trials"] = args.max_trials
+        if args.drop is not None:
+            overrides["accuracy_drop"] = args.drop
+        if overrides and search.strategy == "halving":
+            # Halving's trial count is fixed by axes x budgets x keep and
+            # its feasibility is rung survival: these knobs would be
+            # silently ignored, so refuse them instead.
+            flags = " / ".join(
+                flag for flag, present in
+                (("--max-trials", args.max_trials is not None),
+                 ("--drop", args.drop is not None))
+                if present
+            )
+            raise CLIError(
+                f"{flags} only applies to ad-bits searches; a halving "
+                "search is sized by its axes, budgets, and keep fraction"
+            )
+        if overrides:
+            search = search.evolve(**overrides)
+        return search
+    except CLIError:
+        raise
+    except (KeyError, TypeError, ValueError, FileNotFoundError) as error:
+        raise CLIError(_clean_message(error)) from error
+
+
+class _SearchOutStream(_SweepOutStream):
+    """The sweep stream for a search: a *growing* point list plus a
+    ``"search"`` payload section.
+
+    ``on_schedule`` appends ``"pending"`` placeholders the moment the
+    scheduler proposes trials, and every write re-asks the scheduler
+    for its current best/feasibility — so the file is valid JSON with
+    an up-to-date ``"search"`` section at every instant.
+    """
+
+    def __init__(self, path, search, scheduler):
+        super().__init__(path, search.name, [], expansion_total=None)
+        self.search = search
+        self.scheduler = scheduler
+
+    def on_schedule(self, new_points, total) -> None:
+        self._append(new_points)
+        self.write()
+
+    def _payload(self) -> dict:
+        from repro.orchestration.search import search_out_payload
+
+        return search_out_payload(
+            self.search, self.name, self.points, self.results,
+            best=self.scheduler.best(), baseline=self.scheduler.baseline(),
+            feasibility=self.scheduler.feasibility(),
+            point_dicts=self.point_dicts,
+        )
+
+
+def _cmd_search(args) -> int:
+    from repro.orchestration import ResultCache
+    from repro.orchestration.search import build_scheduler, run_search
+
+    if args.shard:
+        raise CLIError(
+            "adaptive searches cannot be sharded: each trial depends on "
+            "earlier trials' results, so there is no static grid to "
+            "partition — run the search on one host (trained trials still "
+            "land in the result cache for other hosts to reuse)"
+        )
+    search = _resolve_search(args)
+    _prepare_out_path(args.out)
+    if args.jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    try:
+        scheduler = build_scheduler(search)
+    except (KeyError, TypeError, ValueError) as error:
+        raise CLIError(_clean_message(error)) from error
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    progress = None
+    if not args.quiet:
+        t0 = time.time()
+
+        def progress(message):
+            print(f"[repro search +{time.time() - t0:7.1f}s] {message}",
+                  file=sys.stderr)
+
+    stream = None
+    if args.out:
+        stream = _SearchOutStream(args.out, search, scheduler)
+        stream.write()  # a valid skeleton exists from the first moment
+    result = run_search(
+        search, jobs=args.jobs, cache=cache, progress=progress,
+        on_point=stream.on_point if stream else None,
+        on_schedule=stream.on_schedule if stream else None,
+        scheduler=scheduler,
+    )
+    if stream is not None:
+        # Mid-run writes trail the scheduler by one absorption (it digests
+        # a result on its *next* proposal round, after on_point already
+        # streamed); one closing write records the final best/feasibility.
+        stream.write()
+    if not args.quiet:
+        print(result.report().format())
+        stats = result.stats
+        print(
+            f"trials: {stats['total']} (executed {stats['executed']}, "
+            f"cached {stats['cached']}, failed {stats['failed']})"
+            + _cache_note(stats)
+        )
+        if args.out:
+            print(f"search results written to {args.out}")
+    if result.best is None:
+        print("repro: error: search found no feasible trial",
+              file=sys.stderr)
+        return 1
     return 0 if result.ok else 1
 
 
@@ -537,14 +698,30 @@ def _cmd_presets(args) -> int:
 
 
 def _cmd_sweeps(args) -> int:
+    from repro.orchestration import expand
+
+    # Point counts print unconditionally so a sweep can be sized before
+    # it is launched; --verbose adds the description.
     for name in experiments.sweep_names():
         sweep = experiments.get_sweep(name)
+        line = f"{name:28s} {len(expand(sweep)):3d} points"
         if args.verbose:
-            from repro.orchestration import expand
+            line += f"  {sweep.description}"
+        print(line)
+    return 0
 
-            print(f"{name:28s} {len(expand(sweep)):3d} points  {sweep.description}")
-        else:
-            print(name)
+
+def _cmd_searches(args) -> int:
+    from repro.orchestration import planned_trials
+
+    for name in experiments.search_names():
+        search = experiments.get_search(name)
+        count, exact = planned_trials(search)
+        bound = f"{count:3d}" if exact else f"<={count:2d}"
+        line = f"{name:28s} {bound} trials  [{search.strategy}]"
+        if args.verbose:
+            line += f"  {search.description}"
+        print(line)
     return 0
 
 
@@ -617,6 +794,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 
+    search = sub.add_parser(
+        "search",
+        help="adaptive bit-width search: finished trials propose the next",
+    )
+    search_source = search.add_mutually_exclusive_group(required=True)
+    search_source.add_argument(
+        "--preset", help="search preset name (see `repro searches`)"
+    )
+    search_source.add_argument(
+        "--config", help="path to a SearchConfig JSON file"
+    )
+    search.add_argument("--max-trials", type=int, dest="max_trials",
+                        help="override the search's trial budget")
+    search.add_argument("--drop", type=float,
+                        help="override the accuracy-drop budget "
+                             "(absolute, e.g. 0.02)")
+    search.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers (halving rungs fan out; "
+                             "the AD search is inherently sequential)")
+    search.add_argument("--shard",
+                        help=argparse.SUPPRESS)  # rejected with a clear error
+    search.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="skip trials already in the result cache")
+    search.add_argument("--cache-dir", default=".repro-cache",
+                        help="cache location (default: .repro-cache)")
+    search.add_argument("--out", help="streaming search JSON output path")
+    search.add_argument("--quiet", action="store_true")
+    search.set_defaults(func=_cmd_search)
+
     cache = sub.add_parser(
         "cache", help="transport the result cache between hosts"
     )
@@ -659,10 +866,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="include paper-table mapping and descriptions")
     presets.set_defaults(func=_cmd_presets)
 
-    sweeps = sub.add_parser("sweeps", help="list registered sweep presets")
+    sweeps = sub.add_parser("sweeps",
+                            help="list sweep presets with point counts")
     sweeps.add_argument("--verbose", action="store_true",
-                        help="include point counts and descriptions")
+                        help="include descriptions")
     sweeps.set_defaults(func=_cmd_sweeps)
+
+    searches = sub.add_parser("searches",
+                              help="list search presets with trial counts")
+    searches.add_argument("--verbose", action="store_true",
+                          help="include descriptions")
+    searches.set_defaults(func=_cmd_searches)
 
     show = sub.add_parser("show", help="print a preset/config as JSON")
     show_source = show.add_mutually_exclusive_group(required=True)

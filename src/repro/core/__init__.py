@@ -13,7 +13,8 @@
 """
 
 from repro.core.ad_prune import ADPruner, PruningPlan
-from repro.core.ad_quant import ADQuantizer, IterationRecord, QuantizationSchedule
+from repro.core.ad_quant import (ADQuantizer, IterationRecord,
+                                 QuantizationSchedule, scale_bits)
 from repro.core.complexity import TrainingComplexity
 from repro.core.export import (
     load_report_json,
@@ -40,4 +41,5 @@ __all__ = [
     "save_report_json",
     "load_report_json",
     "save_report_csv",
+    "scale_bits",
 ]

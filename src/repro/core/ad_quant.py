@@ -29,6 +29,22 @@ from repro.density import SaturationDetector
 from repro.quant import LayerQuantSpec, QuantizationPlan
 
 
+def scale_bits(bits: int, density: float, min_bits: int = 1) -> int:
+    """Eqn. 3: ``k <- round(k * AD)``, floored at ``min_bits``.
+
+    The single re-quantization rule of the paper, shared by the
+    in-training :meth:`ADQuantizer.update_plan` step and the
+    search-level proposal logic in
+    :class:`repro.orchestration.search.ADSearchScheduler` (which applies
+    it to a whole schedule's starting precision instead of one layer).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"activation density out of range: {density}")
+    if min_bits < 1:
+        raise ValueError("min_bits must be >= 1")
+    return max(min_bits, int(round(bits * density)))
+
+
 @dataclass
 class IterationRecord:
     """Outcome of one quantization iteration (one row of Table II)."""
@@ -131,9 +147,12 @@ class ADQuantizer:
                 new_specs.append(spec)
                 continue
             density = densities[spec.name]
-            if not 0.0 <= density <= 1.0:
-                raise ValueError(f"AD out of range for {spec.name}: {density}")
-            bits = max(self.schedule.min_bits, int(round(spec.bits * density)))
+            try:
+                bits = scale_bits(spec.bits, density, self.schedule.min_bits)
+            except ValueError:
+                raise ValueError(
+                    f"AD out of range for {spec.name}: {density}"
+                ) from None
             new_specs.append(
                 LayerQuantSpec(
                     spec.name,
@@ -178,18 +197,6 @@ class ADQuantizer:
             ):
                 break
         return epochs, accuracy
-
-    def _train_until_saturation(self, loader) -> tuple[int, float]:
-        """Deprecated alias of :meth:`train_until_saturation`."""
-        import warnings
-
-        warnings.warn(
-            "ADQuantizer._train_until_saturation is deprecated; use the "
-            "public train_until_saturation instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.train_until_saturation(loader)
 
     def run(self, train_loader, test_loader=None) -> list[IterationRecord]:
         """Execute Algorithm 1 end to end; returns per-iteration records."""

@@ -79,6 +79,89 @@ class SweepEntry:
 
 
 @dataclass
+class SearchEntry(SweepEntry):
+    """One search trial's outcome plus its place in the search.
+
+    ``feasible`` records whether the trial met the search's acceptance
+    rule (within the accuracy-drop budget for AD search, survived the
+    pruning rung for successive halving); ``None`` means the rule never
+    judged it (e.g. the trial crashed before producing a row).  ``best``
+    marks the trial the search ultimately selected.
+    """
+
+    feasible: bool | None = None
+    best: bool = False
+
+
+@dataclass
+class SearchReport:
+    """Per-trial rows of an adaptive search (bit-width search, halving).
+
+    The search analogue of :class:`SweepReport`: one entry per trial in
+    proposal order, annotated with feasibility and the selected best.
+    """
+
+    name: str
+    objective: str = "energy_efficiency"
+    accuracy_drop: float | None = None
+    entries: list[SearchEntry] = field(default_factory=list)
+
+    def add(self, entry: SearchEntry) -> None:
+        self.entries.append(entry)
+
+    @property
+    def best_entry(self) -> SearchEntry | None:
+        for entry in self.entries:
+            if entry.best:
+                return entry
+        return None
+
+    @property
+    def failed(self) -> list[SearchEntry]:
+        return [e for e in self.entries if e.status == "failed"]
+
+    def format(self) -> str:
+        """One line per trial plus the selected best and any failures."""
+        headers = ["Trial", "Status", "Bit-widths", "Test Acc", "Total AD",
+                   "Energy Eff", "Epochs", "Feasible", "Best"]
+        table_rows = []
+        for entry in self.entries:
+            row = entry.final_row
+            feasible = "-" if entry.feasible is None else \
+                ("yes" if entry.feasible else "no")
+            best = "*" if entry.best else ""
+            if row is None:
+                table_rows.append([entry.label, entry.status, "-", "-", "-",
+                                   "-", "-", feasible, best])
+                continue
+            table_rows.append([
+                entry.label,
+                entry.status,
+                str(row.bit_widths),
+                f"{row.test_accuracy * 100:.2f}%",
+                f"{row.total_ad:.3f}",
+                f"{row.energy_efficiency:.2f}x",
+                str(sum(r.epochs for r in entry.report.rows)),
+                feasible,
+                best,
+            ])
+        title = f"Search — {self.name} (objective: {self.objective})"
+        out = format_table(headers, table_rows, title=title)
+        lines = [out]
+        best = self.best_entry
+        if best is not None and best.final_row is not None:
+            row = best.final_row
+            lines.append(
+                f"best: {best.label} — acc {row.test_accuracy * 100:.2f}%, "
+                f"energy eff {row.energy_efficiency:.2f}x"
+            )
+        if self.failed:
+            lines.append("failures:")
+            lines += [f"  {e.label}: {e.error}" for e in self.failed]
+        return "\n".join(lines)
+
+
+@dataclass
 class SweepReport:
     """Cross-run aggregation: every point's rows under one roof.
 

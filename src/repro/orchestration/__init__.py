@@ -1,14 +1,24 @@
-"""Orchestration layer: sweeps, sharding, parallel workers, caching.
+"""Orchestration layer: schedulers, executors, searches, caching.
 
 Sits *above* :mod:`repro.api` (which stays single-run): this package
 turns one declarative :class:`~repro.api.config.ExperimentConfig` into
-grids of runs with content-addressed result caching, multi-host
-sharding, streaming aggregation, and checkpoint/resume.
+grids — or adaptive *searches* — of runs with content-addressed result
+caching, multi-host sharding, streaming aggregation, and
+checkpoint/resume.
+
+Execution is split into three composable pieces: a
+:class:`~repro.orchestration.scheduler.Scheduler` proposes points
+(:class:`StaticScheduler` for pre-expanded grids,
+:class:`ADSearchScheduler` / :class:`SuccessiveHalvingScheduler` for
+searches where finished points propose new ones), an executor backend
+(:class:`SerialExecutor` / :class:`ProcessExecutor`, with dead-worker
+detection) runs them, and the :class:`SweepRunner` driver loop joins
+the two with caching, dedup, and streaming callbacks in between.
 
 Quick tour::
 
-    from repro.orchestration import (ResultCache, SweepAxis, SweepConfig,
-                                     SweepRunner)
+    from repro.orchestration import (ResultCache, SearchConfig, SweepAxis,
+                                     SweepConfig, SweepRunner, run_search)
 
     sweep = SweepConfig(
         name="vgg19-seeds",
@@ -18,14 +28,19 @@ Quick tour::
     result = SweepRunner(jobs=4, cache=ResultCache()).run(sweep)
     print(result.aggregate().format())
 
-or headless: ``repro sweep --preset table2-vgg19-seeds --jobs 4``.
+    search = SearchConfig(name="bits", preset="vgg19-cifar10-quant",
+                          strategy="ad-bits", accuracy_drop=0.1)
+    print(run_search(search, cache=ResultCache()).report().format())
+
+or headless: ``repro sweep --preset table2-vgg19-seeds --jobs 4`` /
+``repro search --preset search-vgg19-bits``.
 
 Distributed: ``repro sweep --shard i/N`` runs one deterministic slice of
-the grid per host (:func:`shard_points`), ``repro cache export/import/
-merge`` move ``.repro-cache/`` entries between hosts
-(:meth:`ResultCache.merge` with conflict detection), and
-``repro merge-sweeps`` joins the shard ``--out`` files back into the
-unsharded aggregate (:func:`merge_sweep_payloads`).
+the grid per host (:func:`shard_points`; adaptive searches cannot shard
+and say so), ``repro cache export/import/merge`` move ``.repro-cache/``
+entries between hosts (:meth:`ResultCache.merge` with conflict
+detection), and ``repro merge-sweeps`` joins the shard ``--out`` files
+back into the unsharded aggregate (:func:`merge_sweep_payloads`).
 """
 
 from repro.orchestration.cache import (
@@ -38,6 +53,11 @@ from repro.orchestration.checkpoint import (
     CheckpointStage,
     write_checkpoint,
 )
+from repro.orchestration.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    crash_outcome,
+)
 from repro.orchestration.runner import (
     PointResult,
     SweepResult,
@@ -48,6 +68,22 @@ from repro.orchestration.runner import (
     point_dict,
     run_payload,
     sweep_out_payload,
+)
+from repro.orchestration.scheduler import (
+    DONE,
+    Done,
+    Scheduler,
+    StaticScheduler,
+)
+from repro.orchestration.search import (
+    ADSearchScheduler,
+    SearchConfig,
+    SearchResult,
+    SuccessiveHalvingScheduler,
+    build_scheduler,
+    planned_trials,
+    run_search,
+    search_out_payload,
 )
 from repro.orchestration.sweep import (
     ShardSpec,
@@ -61,25 +97,40 @@ from repro.orchestration.sweep import (
 )
 
 __all__ = [
+    "ADSearchScheduler",
     "CacheMergeConflict",
     "CheckpointCallback",
     "CheckpointStage",
     "DEFAULT_CACHE_DIR",
+    "DONE",
+    "Done",
     "PointResult",
+    "ProcessExecutor",
     "ResultCache",
+    "Scheduler",
+    "SearchConfig",
+    "SearchResult",
+    "SerialExecutor",
     "ShardSpec",
+    "StaticScheduler",
+    "SuccessiveHalvingScheduler",
     "SweepAxis",
     "SweepConfig",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
     "axis_labels",
+    "build_scheduler",
+    "crash_outcome",
     "execute_point",
     "expand",
     "merge_sweep_payloads",
     "pending_point_dict",
+    "planned_trials",
     "point_dict",
     "run_payload",
+    "run_search",
+    "search_out_payload",
     "shard_assignment",
     "shard_points",
     "sweep_out_payload",

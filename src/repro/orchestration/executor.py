@@ -1,0 +1,162 @@
+"""Executors: the *run it somewhere* half of sweep execution.
+
+An executor accepts point tasks (the ``{"index", "config"}`` payloads of
+:func:`~repro.orchestration.runner.execute_point`) one at a time via
+:meth:`submit` and hands back one outcome dict per task via
+:meth:`next_result`, in whatever order tasks finish.  The driver loop in
+:class:`~repro.orchestration.runner.SweepRunner` feeds scheduler
+proposals in as capacity frees up and routes outcomes back by task
+index, so executors stay oblivious to sweeps, caches, and schedulers.
+
+Two backends:
+
+* :class:`SerialExecutor` — queues submissions and executes them
+  in-process, FIFO, when :meth:`next_result` is called.  ``jobs == 1``.
+* :class:`ProcessExecutor` — a ``concurrent.futures`` process pool.
+  Chosen over ``multiprocessing.Pool`` because it *detects dead
+  workers*: a worker that exits abruptly (OOM kill, ``os._exit``,
+  segfault) breaks the pool and fails the affected futures instead of
+  hanging the parent forever.
+
+Both backends deliver exactly one outcome per submitted task.  A task
+whose execution *raises* (the injectable ``execute`` violating
+:func:`execute_point`'s capture-everything contract) or whose worker
+*dies* is returned as a structured ``{"status": "failed"}`` outcome
+naming the task index — the driver sees a failed point, never a missing
+one.  After a pool breakage the broken pool is discarded, so subsequent
+submissions (an adaptive scheduler proposing more points) transparently
+get a fresh pool.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+
+def crash_outcome(task: dict, error: BaseException) -> dict:
+    """A structured ``failed`` outcome for a task whose executor crashed.
+
+    Used when the failure happened *outside* :func:`execute_point`'s own
+    structured capture: the worker process died, or an injected
+    ``execute`` raised instead of returning an outcome dict.
+    """
+    return {
+        "index": task.get("index"),
+        "status": "failed",
+        "error": f"executor crashed: {type(error).__name__}: {error}",
+        "traceback": traceback.format_exc(),
+        "duration": 0.0,
+    }
+
+
+class SerialExecutor:
+    """In-process FIFO execution (``jobs == 1``).
+
+    Submissions queue; each :meth:`next_result` call runs the oldest
+    queued task to completion.  Deferring execution to
+    :meth:`next_result` keeps the dispatch order identical to the
+    pre-split runner: the driver finishes every cache hit before the
+    first miss trains.
+    """
+
+    def __init__(self, execute):
+        self.execute = execute
+        self._queue: list[dict] = []
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def submit(self, task: dict) -> None:
+        self._queue.append(task)
+
+    def next_result(self) -> dict:
+        if not self._queue:
+            raise RuntimeError("no tasks pending in the serial executor")
+        task = self._queue.pop(0)
+        try:
+            return self.execute(task)
+        except Exception as error:
+            return crash_outcome(task, error)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._queue.clear()
+        return False
+
+
+class ProcessExecutor:
+    """Process-pool execution (``jobs > 1``) with dead-worker detection.
+
+    The pool is created lazily on the first :meth:`submit` and discarded
+    whenever it breaks, so one dying worker fails only the tasks that
+    were in flight with it — later submissions run in a fresh pool.
+    ``execute`` must be picklable (a module-level function).
+    """
+
+    def __init__(self, jobs: int, execute):
+        if jobs < 2:
+            raise ValueError("ProcessExecutor needs jobs >= 2; use SerialExecutor")
+        self.jobs = jobs
+        self.execute = execute
+        self._pool = None
+        self._futures: dict = {}  # future -> task
+
+    @property
+    def pending(self) -> int:
+        return len(self._futures)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def submit(self, task: dict) -> None:
+        try:
+            future = self._ensure_pool().submit(self.execute, task)
+        except Exception:
+            # The pool broke between our liveness check and the submit
+            # (a worker died while idle); retry once on a fresh pool.
+            self._discard_pool()
+            future = self._ensure_pool().submit(self.execute, task)
+        self._futures[future] = task
+
+    def next_result(self) -> dict:
+        from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                        CancelledError, wait)
+
+        if not self._futures:
+            raise RuntimeError("no tasks pending in the process executor")
+        done, _ = wait(tuple(self._futures), return_when=FIRST_COMPLETED)
+        future = next(iter(done))
+        task = self._futures.pop(future)
+        try:
+            return future.result()
+        except (BrokenExecutor, CancelledError) as error:
+            # A worker died mid-task.  Every future in flight with the
+            # broken pool will resolve the same way on later calls, each
+            # yielding its own structured failure; new submissions get a
+            # fresh pool.
+            self._discard_pool()
+            return crash_outcome(task, error)
+        except Exception as error:
+            return crash_outcome(task, error)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()
+        return False

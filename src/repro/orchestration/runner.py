@@ -1,21 +1,30 @@
-"""Sweep execution: serial or multiprocessing workers, cache-aware.
+"""Sweep execution: a driver loop joining schedulers to executors.
 
-The runner takes a :class:`~repro.orchestration.sweep.SweepConfig` (or a
-pre-expanded point list), skips points whose configs already have cache
-entries, executes the rest — in ``multiprocessing`` workers when
-``jobs > 1``, serially otherwise — and aggregates every point's rows
-into one :class:`~repro.core.report.SweepReport`.
+The runner is the *driver* between two abstractions split out of the
+original monolithic sweep loop: a
+:class:`~repro.orchestration.scheduler.Scheduler` proposes points (a
+static pre-expanded grid, or an adaptive search where finished points
+propose new ones) and an executor backend
+(:class:`~repro.orchestration.executor.SerialExecutor` /
+:class:`~repro.orchestration.executor.ProcessExecutor`) runs them.  The
+driver feeds proposals to the executor as they arrive, skips points
+whose configs already have cache entries, and aggregates every point's
+rows into one :class:`~repro.core.report.SweepReport`.
 
 Points with identical configs (same cache key) execute **once**: the
 single result fans out to every matching point, so a no-op override or
-overlapping seed axes never trains twice or races on the cache.
+overlapping seed axes never trains twice or races on the cache — and an
+adaptive scheduler that re-proposes an already-finished config gets the
+recorded result back instantly.
 
 Results *stream*: an ``on_point`` callback receives each
 :class:`PointResult` the moment its worker finishes (cached hits
 included), which is how the CLI keeps ``--out`` incrementally rewritten
 and how live dashboards can fold points into a
 :class:`~repro.core.report.SweepReport` while the sweep is still
-running.
+running.  An ``on_schedule`` callback fires whenever the scheduler
+grows the point list, so streaming writers can emit ``"pending"``
+placeholders for adaptively-proposed points too.
 
 Each worker rebuilds its experiment from the point's config dict alone
 (:func:`execute_point` is a pure function of its payload), so parallel
@@ -29,13 +38,14 @@ points, never a silently shorter result list.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
 
 from repro.api.config import ExperimentConfig
 from repro.core.report import SweepEntry, SweepReport
+from repro.orchestration.executor import ProcessExecutor, SerialExecutor
+from repro.orchestration.scheduler import Done, Scheduler, StaticScheduler
 from repro.orchestration.sweep import SweepConfig, SweepPoint, expand
 
 
@@ -131,6 +141,11 @@ class PointResult:
         )
 
 
+def _new_counts(total: int) -> dict:
+    """A zeroed status-count dict (the single source of its shape)."""
+    return {"total": total, "executed": 0, "cached": 0, "failed": 0}
+
+
 def _count_statuses(pairs, counts: dict) -> dict:
     """Fold ``(status, label)`` pairs into ``counts``; unknowns raise."""
     for status, label in pairs:
@@ -143,6 +158,13 @@ def _count_statuses(pairs, counts: dict) -> dict:
                 f"unknown point status {status!r} for {label!r}"
             )
     return counts
+
+
+def _status_counts(points) -> dict:
+    """Status counts of a finished point list."""
+    return _count_statuses(
+        ((p.status, p.label) for p in points), _new_counts(len(points))
+    )
 
 
 def point_dict(result: PointResult, position: int) -> dict:
@@ -207,7 +229,7 @@ def sweep_out_payload(name: str, points, results,
     re-serialize and re-hash every other point's config each time.
     """
     dicts = []
-    counts = {"total": len(points), "executed": 0, "cached": 0, "failed": 0}
+    counts = _new_counts(len(points))
     pending = 0
     for position, (point, result) in enumerate(zip(points, results)):
         if result is None:
@@ -323,7 +345,7 @@ def merge_sweep_payloads(payloads, name: str | None = None) -> dict:
             )
     counts = _count_statuses(
         ((point.get("status"), point.get("label")) for point in points),
-        {"total": len(points), "executed": 0, "cached": 0, "failed": 0},
+        _new_counts(len(points)),
     )
     merged = {"sweep": name, "stats": counts, "points": points}
     if expansion_total is not None:
@@ -333,19 +355,32 @@ def merge_sweep_payloads(payloads, name: str | None = None) -> dict:
 
 @dataclass
 class SweepResult:
-    """All point results plus execution statistics."""
+    """All point results plus execution statistics.
+
+    ``cache_stats`` records the result cache's activity for this run —
+    ``{"hits", "misses"}`` counted per *unique config* looked up (a hit
+    fanning out to N duplicate points is one hit) — and is ``None`` when
+    the run had no cache at all.
+    """
 
     name: str
     points: list[PointResult] = field(default_factory=list)
+    cache_stats: dict | None = None
 
     @property
     def stats(self) -> dict:
-        """Status counts; an unrecognised status raises (never hidden)."""
-        counts = {"total": len(self.points), "executed": 0, "cached": 0,
-                  "failed": 0}
-        return _count_statuses(
-            ((p.status, p.label) for p in self.points), counts
-        )
+        """Status counts; an unrecognised status raises (never hidden).
+
+        When the run used a result cache, the counts also carry
+        ``cache_hits`` / ``cache_misses`` (per unique config, see
+        ``cache_stats``) so cache activity is visible without
+        ``--progress`` logging.
+        """
+        counts = _status_counts(self.points)
+        if self.cache_stats is not None:
+            counts["cache_hits"] = self.cache_stats["hits"]
+            counts["cache_misses"] = self.cache_stats["misses"]
+        return counts
 
     @property
     def ok(self) -> bool:
@@ -359,10 +394,15 @@ class SweepResult:
         return report
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (the ``repro sweep --out`` payload)."""
+        """JSON-serializable form (the ``repro sweep --out`` payload).
+
+        Stats here are pure status counts — cache hit/miss counters are
+        run-local diagnostics (see :attr:`stats`), excluded so a warm
+        re-run serializes identically to the cold run it replays.
+        """
         return {
             "sweep": self.name,
-            "stats": self.stats,
+            "stats": _status_counts(self.points),
             "points": [
                 point_dict(point, position)
                 for position, point in enumerate(self.points)
@@ -371,7 +411,7 @@ class SweepResult:
 
 
 class SweepRunner:
-    """Executes sweep points with caching and optional parallelism.
+    """Drives a scheduler's proposals through an executor backend.
 
     Parameters
     ----------
@@ -388,11 +428,16 @@ class SweepRunner:
     on_point:
         Optional ``callable(result, position, total)`` streaming each
         :class:`PointResult` (cached ones included) as it completes;
-        ``position`` indexes the point list of *this* run.
+        ``position`` indexes the run's growing point list and ``total``
+        is the number of points scheduled so far.
+    on_schedule:
+        Optional ``callable(new_points, total)`` fired whenever the
+        scheduler appends a batch; streaming writers use it to emit
+        pending placeholders before any of the batch finishes.
     """
 
     def __init__(self, jobs: int = 1, cache=None, progress=None,
-                 execute=execute_point, on_point=None):
+                 execute=execute_point, on_point=None, on_schedule=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
@@ -400,10 +445,16 @@ class SweepRunner:
         self.progress = progress
         self.execute = execute
         self.on_point = on_point
+        self.on_schedule = on_schedule
 
     def _log(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
+
+    def _make_executor(self):
+        if self.jobs == 1:
+            return SerialExecutor(self.execute)
+        return ProcessExecutor(self.jobs, self.execute)
 
     # ------------------------------------------------------------------
     def run(self, sweep, points=None) -> SweepResult:
@@ -425,56 +476,137 @@ class SweepRunner:
                 )
             points = list(sweep)
             name = points[0].config.name if points else "sweep"
-        for point in points:
-            if not isinstance(point, SweepPoint):
-                raise TypeError(f"not a SweepPoint: {point!r}")
+        return self.run_scheduler(StaticScheduler(points), name=name)
 
-        total = len(points)
-        results: list[PointResult | None] = [None] * total
+    # ------------------------------------------------------------------
+    def run_scheduler(self, scheduler: Scheduler,
+                      name: str | None = None) -> SweepResult:
+        """Drive ``scheduler`` to completion; the core driver loop.
 
-        def finish(position: int, result: PointResult) -> None:
+        The scheduler is consulted before anything runs and again after
+        every completed point; each proposed batch is deduplicated by
+        cache key (against itself *and* every earlier point of the run),
+        checked against the result cache, and the remainder submitted to
+        the executor.  The loop ends when the scheduler returns
+        :data:`~repro.orchestration.scheduler.DONE` and nothing is in
+        flight.  A scheduler that proposes nothing while nothing is in
+        flight (a deadlock — no event could ever unblock it) raises.
+        """
+        if name is None:
+            name = getattr(scheduler, "name", None) or "sweep"
+
+        points: list[SweepPoint] = []
+        results: list[PointResult | None] = []
+        completed: list[PointResult] = []
+        groups: dict[str, list[int]] = {}  # cache key -> positions
+        outcomes: dict[str, dict] = {}     # cache key -> finished outcome
+        by_task: dict[int, str] = {}       # in-flight leader position -> key
+        cache_stats = (
+            {"hits": 0, "misses": 0} if self.cache is not None else None
+        )
+
+        def finish(position: int, outcome: dict) -> None:
+            point = points[position]
+            result = PointResult(
+                label=point.label,
+                key=point.config.cache_key(),
+                status=outcome["status"],
+                payload=outcome.get("payload"),
+                error=outcome.get("error"),
+                traceback=outcome.get("traceback"),
+                duration=outcome.get("duration", 0.0),
+                config=point.config,
+                index=point.index,
+            )
             results[position] = result
+            completed.append(result)
             if result.status == "cached":
                 self._log(f"cached   {result.label}")
             else:
                 self._log(f"{result.status:8s} {result.label} "
                           f"({result.duration:.1f}s)")
             if self.on_point is not None:
-                self.on_point(result, position, total)
+                self.on_point(result, position, len(points))
 
-        # Group positions by cache key: duplicate points (a no-op
-        # override, overlapping seed values, ...) execute exactly once
-        # and the single result fans out to every matching position.
-        groups: dict[str, list[int]] = {}
-        for position, point in enumerate(points):
-            groups.setdefault(point.config.cache_key(), []).append(position)
+        def finish_group(key: str, outcome: dict) -> None:
+            outcomes[key] = outcome
+            for position in groups[key]:
+                finish(position, outcome)
 
-        pending: list[str] = []
-        for key, positions in groups.items():
-            payload = (
-                self.cache.load(points[positions[0]].config)
-                if self.cache else None
-            )
-            if payload is None:
-                pending.append(key)
-                continue
-            for position in positions:
-                point = points[position]
-                finish(position, PointResult(
-                    label=point.label, key=key, status="cached",
-                    payload=payload, config=point.config, index=point.index,
-                ))
+        def schedule(batch: list[SweepPoint], executor) -> None:
+            start = len(points)
+            for point in batch:
+                if not isinstance(point, SweepPoint):
+                    raise TypeError(f"not a SweepPoint: {point!r}")
+                points.append(point)
+                results.append(None)
+            if self.on_schedule is not None:
+                self.on_schedule(list(batch), len(points))
+            new_keys: list[str] = []
+            for position in range(start, len(points)):
+                key = points[position].config.cache_key()
+                positions = groups.setdefault(key, [])
+                positions.append(position)
+                if len(positions) == 1:
+                    new_keys.append(key)
+                elif key in outcomes:
+                    # Re-proposal of an already-finished config: hand the
+                    # recorded result back without running anything.
+                    finish(position, outcomes[key])
+                # else: the config is in flight (or awaits its cache
+                # check below); the group fan-out will cover this point.
+            for key in new_keys:
+                leader = groups[key][0]
+                payload = (
+                    self.cache.load(points[leader].config)
+                    if self.cache is not None else None
+                )
+                if payload is not None:
+                    cache_stats["hits"] += 1
+                    finish_group(key, {"status": "cached", "payload": payload})
+                    continue
+                if cache_stats is not None:
+                    cache_stats["misses"] += 1
+                by_task[leader] = key
+                executor.submit({
+                    "index": leader,
+                    "config": points[leader].config.to_dict(),
+                })
 
-        if pending:
-            tasks = [
-                {
-                    "index": groups[key][0],
-                    "config": points[groups[key][0]].config.to_dict(),
-                }
-                for key in pending
-            ]
-            by_task = {groups[key][0]: key for key in pending}
-            for outcome in self._execute_all(tasks):
+        done = False
+        with self._make_executor() as executor:
+            while True:
+                if not done:
+                    batch = scheduler.next_points(tuple(completed))
+                    if isinstance(batch, Done):
+                        done = True
+                    elif batch:
+                        schedule(list(batch), executor)
+                        # Cache hits may have completed the whole batch;
+                        # give the scheduler the new results right away.
+                        continue
+                if done and not by_task:
+                    break
+                if not by_task:
+                    raise RuntimeError(
+                        f"scheduler {type(scheduler).__name__} proposed no "
+                        "new points while none are in flight — the sweep "
+                        "would wait forever"
+                    )
+                if getattr(executor, "pending", None) == 0:
+                    # The executor swallowed submissions: tasks are
+                    # unaccounted for and no event can ever deliver them.
+                    lost = [points[position].label for position in by_task]
+                    raise RuntimeError(
+                        f"sweep executor lost {len(lost)} point(s): "
+                        + ", ".join(lost)
+                    )
+                outcome = executor.next_result()
+                if not isinstance(outcome, dict):
+                    raise RuntimeError(
+                        "sweep executor returned a non-outcome "
+                        f"{outcome!r} instead of a result dict"
+                    )
                 key = by_task.pop(outcome.get("index"), None)
                 if key is None:
                     raise RuntimeError(
@@ -486,19 +618,7 @@ class SweepRunner:
                     self.cache.store(
                         points[groups[key][0]].config, outcome["payload"]
                     )
-                for position in groups[key]:
-                    point = points[position]
-                    finish(position, PointResult(
-                        label=point.label,
-                        key=key,
-                        status=outcome["status"],
-                        payload=outcome.get("payload"),
-                        error=outcome.get("error"),
-                        traceback=outcome.get("traceback"),
-                        duration=outcome.get("duration", 0.0),
-                        config=point.config,
-                        index=point.index,
-                    ))
+                finish_group(key, outcome)
 
         lost = [
             point.label
@@ -510,14 +630,5 @@ class SweepRunner:
                 f"sweep executor lost {len(lost)} point(s): "
                 + ", ".join(lost)
             )
-        return SweepResult(name=name, points=list(results))
-
-    def _execute_all(self, tasks: list[dict]):
-        """Yield outcomes for every task (unordered when parallel)."""
-        if self.jobs == 1 or len(tasks) == 1:
-            for task in tasks:
-                yield self.execute(task)
-            return
-        processes = min(self.jobs, len(tasks))
-        with multiprocessing.Pool(processes=processes) as pool:
-            yield from pool.imap_unordered(self.execute, tasks)
+        return SweepResult(name=name, points=list(results),
+                           cache_stats=cache_stats)

@@ -1,0 +1,700 @@
+"""Adaptive bit-width search: schedulers where results propose points.
+
+The paper's loop is *reactive* — watch activation density, then lower
+precision — and this module lifts that reactivity from the epoch level
+to the experiment level: completed runs propose the next run's
+:class:`~repro.api.config.QuantConfig`.  Two strategies ship:
+
+* :class:`ADSearchScheduler` (``strategy="ad-bits"``) — an AD-guided
+  descent over the schedule's starting precision.  The first trial runs
+  the base config unchanged (the accuracy reference); each feasible
+  trial proposes the next ``initial_bits`` by the paper's eqn.-3 rule
+  (:func:`repro.core.ad_quant.scale_bits` applied to the run's final
+  total AD), falling back to a single-bit step when AD has saturated and
+  to upward bisection when a trial overshoots the accuracy-drop budget.
+  The best trial maximizes the energy objective (the analytical
+  :mod:`repro.energy.analytical` efficiency reported by every run)
+  among trials within the budget.
+* :class:`SuccessiveHalvingScheduler` (``strategy="halving"``) — a
+  grid over ``axes`` evaluated in rungs of increasing ``budgets``
+  (values written to ``budget_path``); after each rung only the top
+  ``keep`` fraction by accuracy advances, so low-accuracy grid regions
+  are pruned before they consume full-budget training.
+
+A :class:`SearchConfig` declares either strategy and is JSON
+round-trippable with ``cache_key()`` parity, matching
+:mod:`repro.api.config`; trials are ordinary evolved
+:class:`~repro.api.config.ExperimentConfig` points, so they share the
+content-addressed result cache with ``repro run`` and ``repro sweep`` —
+re-running a search is free, and the best-found config replays as a
+cache hit anywhere.
+
+Searches are inherently sequential in their dependencies (trial N+1
+needs trial N's results), so they cannot be sharded; the CLI rejects
+``--shard`` for ``repro search`` and cross-host reuse flows through the
+cache instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+
+from repro.api.config import ExperimentConfig, _ConfigBase, _from_dict
+from repro.orchestration.runner import (
+    PointResult,
+    SweepResult,
+    SweepRunner,
+    execute_point,
+    sweep_out_payload,
+)
+from repro.orchestration.scheduler import DONE, Done, Scheduler
+from repro.orchestration.sweep import SweepAxis, SweepConfig, SweepPoint, expand
+
+STRATEGIES = ("ad-bits", "halving")
+OBJECTIVES = ("energy_efficiency", "test_accuracy")
+
+
+@dataclass(frozen=True)
+class SearchConfig(_ConfigBase):
+    """A declarative adaptive search, JSON round-trippable and hashable.
+
+    Exactly one of ``base`` / ``preset`` supplies the base experiment.
+    ``accuracy_drop`` is the absolute test-accuracy budget relative to
+    the search's reference trial; ``objective`` picks what "best" means
+    among trials within that budget.  The halving strategy additionally
+    takes a grid (``axes``), a budget knob (``budget_path``, written
+    with each of ``budgets`` in turn), and the survivor fraction
+    ``keep``.
+    """
+
+    name: str = "search"
+    base: ExperimentConfig | None = None
+    preset: str = ""
+    strategy: str = "ad-bits"
+    objective: str = "energy_efficiency"
+    accuracy_drop: float = 0.02
+    max_trials: int = 8
+    min_bits: int = 2
+    axes: tuple = ()
+    budget_path: str = "quant.max_iterations"
+    budgets: tuple = ()
+    keep: float = 0.5
+    description: str = ""
+
+    _nested = {"base": ExperimentConfig}
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("search name must be non-empty")
+        if (self.base is None) == (not self.preset):
+            raise ValueError("provide exactly one of base / preset")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown search strategy {self.strategy!r} "
+                f"(choose from {STRATEGIES})"
+            )
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown search objective {self.objective!r} "
+                f"(choose from {OBJECTIVES})"
+            )
+        if self.accuracy_drop < 0:
+            raise ValueError("accuracy_drop must be >= 0")
+        if self.max_trials < 1:
+            raise ValueError("max_trials must be >= 1")
+        if self.min_bits < 1:
+            raise ValueError("min_bits must be >= 1")
+        for axis in self.axes:
+            if not isinstance(axis, SweepAxis):
+                raise TypeError(f"not a SweepAxis: {axis!r}")
+        if self.strategy == "halving":
+            if not self.budgets:
+                raise ValueError("the halving strategy needs budgets")
+            if list(self.budgets) != sorted(set(self.budgets)):
+                raise ValueError(
+                    f"halving budgets must be strictly increasing, "
+                    f"got {list(self.budgets)}"
+                )
+            if not self.budget_path:
+                raise ValueError("budget_path must be non-empty")
+            if not 0 < self.keep < 1:
+                raise ValueError("keep must be in (0, 1)")
+        elif self.axes or self.budgets:
+            raise ValueError(
+                "axes/budgets only apply to the halving strategy"
+            )
+
+    # ------------------------------------------------------------------
+    # Dict round-trip needs custom handling: ``base`` may be None and
+    # ``axes`` is a tuple of SweepAxis dataclasses.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "base":
+                out["base"] = None if value is None else value.to_dict()
+            elif spec.name == "axes":
+                out["axes"] = [
+                    {"path": axis.path, "values": list(axis.values)}
+                    for axis in value
+                ]
+            elif isinstance(value, tuple):
+                out[spec.name] = list(value)
+            else:
+                out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchConfig":
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"SearchConfig payload must be a dict, "
+                f"got {type(payload).__name__}"
+            )
+        payload = dict(payload)
+        axes = tuple(
+            axis
+            if isinstance(axis, SweepAxis)
+            else SweepAxis(axis["path"], tuple(axis["values"]))
+            for axis in payload.pop("axes", ())
+        )
+        if payload.get("base") is None:
+            # A null base (preset-backed search) must fall through to the
+            # field default; _from_dict insists nested fields be dicts.
+            payload.pop("base", None)
+        config = _from_dict(cls, {**payload, "axes": ()})
+        return config.evolve(axes=axes) if axes else config
+
+
+def resolve_base(search: SearchConfig) -> ExperimentConfig:
+    """The search's base experiment config (inline or registry preset).
+
+    Raises when the energy objective is asked of a pipeline that never
+    computes comparable energies: the per-run ``energy_efficiency``
+    ratio is measured against each trial's *own* starting precision, so
+    ranking trials needs the analytical stage's absolute
+    ``model_total_pj`` (see :func:`trial_metrics`).
+    """
+    if search.base is not None:
+        base = search.base
+    else:
+        from repro.api import experiments
+
+        base = experiments.get_config(search.preset)
+    if search.objective == "energy_efficiency" and not base.energy.analytical:
+        raise ValueError(
+            f"search {search.name!r} ranks by the energy objective but its "
+            "base config disables the analytical energy stage "
+            "(energy.analytical=false), so trials carry no comparable "
+            "absolute energy; enable it or use objective='test_accuracy'"
+        )
+    return base
+
+
+def final_row_of(result: PointResult) -> dict | None:
+    """The last report row of a completed point, as a plain dict."""
+    if result is None or not result.payload:
+        return None
+    rows = (result.payload.get("report") or {}).get("rows") or []
+    return rows[-1] if rows else None
+
+
+def trial_metrics(result: PointResult) -> dict | None:
+    """A trial's final row plus its *absolute* analytical energy.
+
+    A run's reported ``energy_efficiency`` is measured against that
+    run's own starting precision (the baseline profiles captured at
+    context preparation), so it is **not** comparable across trials that
+    start at different bit-widths.  The analytical-energy artifact's
+    ``model_total_pj`` is absolute — same architecture, same
+    :mod:`repro.energy.analytical` constants — and is what search
+    objectives rank by; ``baseline_total_pj`` (the trial's uniform-start
+    network) rides along for beats-the-baseline comparisons.
+    """
+    row = final_row_of(result)
+    if row is None:
+        return None
+    metrics = dict(row)
+    artifacts = result.payload.get("artifacts") or {}
+    energy = artifacts.get("analytical_energy")
+    if isinstance(energy, dict):
+        for field_name in ("model_total_pj", "baseline_total_pj"):
+            if field_name in energy:
+                metrics[field_name] = energy[field_name]
+    return metrics
+
+
+def objective_value(objective: str, metrics: dict) -> float:
+    """The (maximized) score of a trial under ``objective``.
+
+    ``energy_efficiency`` scores by the reciprocal of the absolute
+    analytical model energy when the trial carries it (see
+    :func:`trial_metrics`), falling back to the trial's own reported
+    ratio when the pipeline ran without the analytical energy stage —
+    the fallback applies to all trials of a search alike, since they
+    share one base config.
+    """
+    if objective == "energy_efficiency":
+        model_pj = metrics.get("model_total_pj")
+        if model_pj:
+            return 1.0 / model_pj
+    return metrics[objective]
+
+
+class ADSearchScheduler(Scheduler):
+    """AD-guided descent over ``quant.initial_bits`` (eqn. 3, lifted).
+
+    Sequential by design: each trial's final total activation density
+    decides the next starting precision, so exactly one point is in
+    flight at any time.  Feasibility is judged against the *first*
+    trial's accuracy (the base config at its own precision); the best
+    trial maximizes ``search.objective`` among feasible ones,
+    tie-breaking toward fewer bits.
+    """
+
+    def __init__(self, search: SearchConfig):
+        if search.strategy != "ad-bits":
+            raise ValueError(
+                f"ADSearchScheduler needs strategy 'ad-bits', "
+                f"got {search.strategy!r}"
+            )
+        self.search = search
+        self.base = resolve_base(search)
+        self.name = search.name
+        self._trials: list[dict] = []
+        self._tried: set[int] = set()
+        self._in_flight = False
+        self._seen = 0
+        self._next_bits: int | None = self.base.quant.initial_bits
+        self._ref_accuracy: float | None = None
+
+    # ------------------------------------------------------------------
+    def next_points(self, completed) -> list[SweepPoint] | Done:
+        for result in completed[self._seen:]:
+            self._seen += 1
+            self._absorb(result)
+        if self._in_flight:
+            return []
+        if self._next_bits is None:
+            return DONE
+        return [self._propose(self._next_bits)]
+
+    def _propose(self, bits: int) -> SweepPoint:
+        config = self.base.evolve(quant={"initial_bits": bits})
+        label = f"{self.base.name}[initial_bits={bits}]"
+        self._trials.append({
+            "bits": bits,
+            "key": config.cache_key(),
+            "label": label,
+            "result": None,
+            "metrics": None,
+            "feasible": None,
+        })
+        self._tried.add(bits)
+        self._in_flight = True
+        self._next_bits = None
+        return SweepPoint(
+            label=label,
+            config=config,
+            overrides=(("initial_bits", bits),),
+            index=len(self._trials) - 1,
+        )
+
+    def _absorb(self, result: PointResult) -> None:
+        self._in_flight = False
+        trial = next(
+            t for t in self._trials
+            if t["key"] == result.key and t["result"] is None
+        )
+        trial["result"] = result
+        metrics = trial_metrics(result)
+        trial["metrics"] = metrics
+        first = trial is self._trials[0]
+        if metrics is None:
+            trial["feasible"] = False
+            # A crashed reference leaves nothing to search against.
+            self._next_bits = None if first else self._bisect_up(trial["bits"])
+        else:
+            accuracy = metrics["test_accuracy"]
+            if first:
+                self._ref_accuracy = accuracy
+            trial["feasible"] = (
+                accuracy >= self._ref_accuracy - self.search.accuracy_drop
+            )
+            if trial["feasible"]:
+                self._next_bits = self._descend(trial["bits"], metrics)
+            else:
+                self._next_bits = self._bisect_up(trial["bits"])
+        if self._next_bits is not None \
+                and len(self._trials) >= self.search.max_trials:
+            self._next_bits = None
+
+    def _descend(self, bits: int, metrics: dict) -> int | None:
+        """Eqn.-3 step down from a feasible trial (1-bit step at AD~1).
+
+        Feasibility is assumed monotone in bits (the upward bisection
+        already relies on it), so a proposal at or below a width already
+        judged infeasible would waste a trial on a known outcome —
+        those redirect into refining the feasibility gap instead.
+        """
+        from repro.core.ad_quant import scale_bits
+
+        density = min(1.0, max(0.0, float(metrics["total_ad"])))
+        proposal = scale_bits(bits, density, self.search.min_bits)
+        if proposal >= bits:
+            proposal = bits - 1
+        proposal = max(proposal, self.search.min_bits)
+        known_infeasible = max(
+            (t["bits"] for t in self._trials
+             if t["feasible"] is False and t["bits"] < bits),
+            default=None,
+        )
+        if known_infeasible is not None and proposal <= known_infeasible:
+            return self._bisect_up(known_infeasible)
+        if proposal in self._tried or proposal < 1:
+            return None
+        return proposal
+
+    def _bisect_up(self, failed_bits: int) -> int | None:
+        """Bisect between an infeasible trial and the floor above it.
+
+        Prefers the midpoint of the open interval; when the midpoint was
+        already tried, falls back to the nearest untried value in the
+        gap, so the feasibility boundary is pinned down exactly before
+        the search gives up.
+        """
+        above = [
+            t["bits"] for t in self._trials
+            if t["feasible"] and t["bits"] > failed_bits
+        ]
+        if not above:
+            return None
+        ceiling = min(above)
+        midpoint = (failed_bits + ceiling) // 2
+        candidates = sorted(
+            (b for b in range(failed_bits + 1, ceiling)
+             if b not in self._tried),
+            key=lambda b: (abs(b - midpoint), b),
+        )
+        return candidates[0] if candidates else None
+
+    # ------------------------------------------------------------------
+    def best(self) -> PointResult | None:
+        """The feasible trial maximizing the objective (fewest bits on ties)."""
+        objective = self.search.objective
+        candidates = [
+            t for t in self._trials if t["feasible"] and t["metrics"]
+        ]
+        if not candidates:
+            return None
+        top = max(
+            candidates,
+            key=lambda t: (objective_value(objective, t["metrics"]),
+                           -t["bits"]),
+        )
+        return top["result"]
+
+    def baseline(self) -> PointResult | None:
+        """The reference trial (the base config at its own precision)."""
+        return self._trials[0]["result"] if self._trials else None
+
+    def feasibility(self) -> dict:
+        """Cache key -> feasibility verdict for every trial so far."""
+        return {t["key"]: t["feasible"] for t in self._trials}
+
+
+class SuccessiveHalvingScheduler(Scheduler):
+    """Rung-by-rung grid pruning: drop low-accuracy regions early.
+
+    Expands ``search.axes`` over the base config once, then evaluates
+    the surviving grid at each of ``search.budgets`` in turn (written to
+    ``search.budget_path``), keeping only the top ``search.keep``
+    fraction by final test accuracy between rungs.  Rungs fan out in
+    parallel under ``--jobs``; only rung *boundaries* are sequential.
+    """
+
+    def __init__(self, search: SearchConfig):
+        if search.strategy != "halving":
+            raise ValueError(
+                f"SuccessiveHalvingScheduler needs strategy 'halving', "
+                f"got {search.strategy!r}"
+            )
+        self.search = search
+        self.name = search.name
+        base = resolve_base(search)
+        if search.axes:
+            grid = expand(SweepConfig(name=search.name, base=base,
+                                      axes=search.axes))
+        else:
+            grid = [SweepPoint(label=base.name, config=base, index=0)]
+        # Duplicate grid configs (same cache key) collapse to one entry:
+        # they are the same experiment and must prune together.
+        self._grid: list[tuple[str, ExperimentConfig]] = []
+        seen: set[str] = set()
+        for point in grid:
+            key = point.config.cache_key()
+            if key not in seen:
+                seen.add(key)
+                self._grid.append((point.label, point.config))
+        self._budget_axis = SweepAxis(search.budget_path,
+                                      tuple(search.budgets))
+        self._survivors = list(range(len(self._grid)))
+        self._rung = -1
+        self._rung_size = 0
+        self._rung_results: list[PointResult] = []
+        self._key_to_grid: dict[str, int] = {}
+        self._issued = 0
+        self._seen = 0
+        self._feasible: dict[str, bool] = {}
+        self._best: PointResult | None = None
+        self._done = False
+
+    # ------------------------------------------------------------------
+    def next_points(self, completed) -> list[SweepPoint] | Done:
+        new = completed[self._seen:]
+        self._seen += len(new)
+        self._rung_results.extend(new)
+        if self._done:
+            return DONE
+        if self._rung < 0:
+            return self._issue_rung(0)
+        if len(self._rung_results) < self._rung_size:
+            return []
+        self._close_rung()
+        if self._done:
+            return DONE
+        return self._issue_rung(self._rung + 1)
+
+    def _issue_rung(self, rung: int) -> list[SweepPoint]:
+        self._rung = rung
+        self._rung_results = []
+        self._key_to_grid = {}
+        budget = self.search.budgets[rung]
+        override = self._budget_axis.override_for(budget)
+        budget_label = self._budget_axis.label
+        points = []
+        for grid_index in self._survivors:
+            label, config = self._grid[grid_index]
+            evolved = config.evolve(**override)
+            self._key_to_grid[evolved.cache_key()] = grid_index
+            points.append(SweepPoint(
+                label=f"{label}[{budget_label}={budget}]",
+                config=evolved,
+                overrides=((budget_label, budget),),
+                index=self._issued,
+            ))
+            self._issued += 1
+        self._rung_size = len(points)
+        return points
+
+    def _close_rung(self) -> None:
+        def accuracy_of(result: PointResult) -> float:
+            row = final_row_of(result)
+            return row["test_accuracy"] if row else float("-inf")
+
+        ranked = sorted(self._rung_results, key=accuracy_of, reverse=True)
+        last_rung = self._rung + 1 >= len(self.search.budgets)
+        count = max(1, math.ceil(len(ranked) * self.search.keep))
+        kept = ranked if last_rung else ranked[:count]
+        kept_keys = {r.key for r in kept}
+        for result in self._rung_results:
+            survived = (
+                result.key in kept_keys and final_row_of(result) is not None
+            )
+            self._feasible[result.key] = survived
+        if last_rung:
+            self._best = self._pick_best(ranked)
+            self._done = True
+            return
+        self._survivors = [
+            self._key_to_grid[r.key] for r in kept
+            if final_row_of(r) is not None
+        ]
+        if not self._survivors:
+            # Every survivor crashed at this budget: nothing to advance.
+            self._done = True
+
+    def _pick_best(self, ranked: list[PointResult]) -> PointResult | None:
+        objective = self.search.objective
+        scored = [
+            ((objective_value(objective, metrics),
+              metrics["test_accuracy"], -position), result)
+            for position, result in enumerate(ranked)
+            for metrics in [trial_metrics(result)]
+            if metrics is not None
+        ]
+        if not scored:
+            return None
+        return max(scored, key=lambda pair: pair[0])[1]
+
+    # ------------------------------------------------------------------
+    def best(self) -> PointResult | None:
+        """The final rung's top trial by the objective (None until done)."""
+        return self._best
+
+    def baseline(self) -> PointResult | None:
+        """Halving has no single reference trial."""
+        return None
+
+    def feasibility(self) -> dict:
+        """Cache key -> survived-its-rung verdict for judged trials."""
+        return dict(self._feasible)
+
+
+def build_scheduler(search: SearchConfig) -> Scheduler:
+    """The scheduler instance a :class:`SearchConfig` describes."""
+    if search.strategy == "ad-bits":
+        return ADSearchScheduler(search)
+    return SuccessiveHalvingScheduler(search)
+
+
+def planned_trials(search: SearchConfig) -> tuple[int, bool]:
+    """``(trial count, exact)`` for sizing a search before launching it.
+
+    Adaptive strategies only bound their trial count (``exact=False``:
+    the AD search may converge early); the halving schedule is fully
+    determined by its grid, budgets, and keep fraction (``exact=True``,
+    assuming no duplicate grid configs).
+    """
+    if search.strategy == "ad-bits":
+        return search.max_trials, False
+    count = 1
+    for axis in search.axes:
+        count *= len(axis.values)
+    total = 0
+    for _ in search.budgets:
+        total += count
+        count = max(1, math.ceil(count * search.keep))
+    return total, True
+
+
+# ---------------------------------------------------------------------------
+# Running a search and serializing its outcome.
+# ---------------------------------------------------------------------------
+
+def _point_summary(result: PointResult | None) -> dict | None:
+    if result is None:
+        return None
+    return {
+        "label": result.label,
+        "key": result.key,
+        "config": result.config.to_dict() if result.config else None,
+        "metrics": trial_metrics(result),
+    }
+
+
+def search_out_payload(search: SearchConfig, name: str, points, results,
+                       best=None, baseline=None, feasibility=None,
+                       point_dicts=None) -> dict:
+    """The ``repro search --out`` JSON of a possibly still-running search.
+
+    The trial list reuses :func:`sweep_out_payload` (``"pending"``
+    placeholders included), so sweep tooling reads a search file as-is;
+    a ``"search"`` section adds the config, the current best/baseline,
+    and per-trial feasibility verdicts.  Valid JSON at every instant of
+    a streaming search.
+    """
+    payload = sweep_out_payload(name, points, results,
+                                point_dicts=point_dicts)
+    payload["search"] = {
+        "strategy": search.strategy,
+        "objective": search.objective,
+        "accuracy_drop": search.accuracy_drop,
+        "config": search.to_dict(),
+        "baseline": _point_summary(baseline),
+        "best": _point_summary(best),
+        "feasibility": dict(feasibility) if feasibility is not None else {},
+    }
+    return payload
+
+
+@dataclass
+class SearchResult:
+    """A finished search: every trial plus the scheduler's verdicts."""
+
+    search: SearchConfig
+    sweep: SweepResult
+    best: PointResult | None = None
+    baseline: PointResult | None = None
+    feasibility: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.sweep.name
+
+    @property
+    def points(self) -> list[PointResult]:
+        return self.sweep.points
+
+    @property
+    def stats(self) -> dict:
+        return self.sweep.stats
+
+    @property
+    def ok(self) -> bool:
+        return self.sweep.ok
+
+    def report(self):
+        """Per-trial :class:`~repro.core.report.SearchReport`."""
+        from repro.core.export import report_from_dict
+        from repro.core.report import SearchEntry, SearchReport
+
+        best_key = self.best.key if self.best is not None else None
+        report = SearchReport(
+            name=self.name,
+            objective=self.search.objective,
+            accuracy_drop=self.search.accuracy_drop,
+        )
+        best_marked = False
+        for point in self.points:
+            is_best = (not best_marked) and point.key == best_key
+            best_marked = best_marked or is_best
+            report.add(SearchEntry(
+                label=point.label,
+                report=(
+                    report_from_dict(point.payload["report"])
+                    if point.payload is not None else None
+                ),
+                status=point.status,
+                key=point.key,
+                error=point.error,
+                feasible=self.feasibility.get(point.key),
+                best=is_best,
+            ))
+        return report
+
+    def to_dict(self) -> dict:
+        """JSON form (the completed ``repro search --out`` payload)."""
+        return search_out_payload(
+            self.search, self.name, self.points, self.points,
+            best=self.best, baseline=self.baseline,
+            feasibility=self.feasibility,
+        )
+
+
+def run_search(search: SearchConfig, jobs: int = 1, cache=None,
+               progress=None, execute=execute_point, on_point=None,
+               on_schedule=None, scheduler: Scheduler | None = None
+               ) -> SearchResult:
+    """Drive a :class:`SearchConfig` to completion through the runner.
+
+    ``scheduler`` optionally supplies a pre-built scheduler (so callers
+    that need a live handle on it — e.g. the CLI's streaming writer
+    asking for the current best — observe the same instance the driver
+    feeds).
+    """
+    if scheduler is None:
+        scheduler = build_scheduler(search)
+    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress,
+                         execute=execute, on_point=on_point,
+                         on_schedule=on_schedule)
+    sweep = runner.run_scheduler(scheduler, name=search.name)
+    return SearchResult(
+        search=search,
+        sweep=sweep,
+        best=scheduler.best(),
+        baseline=scheduler.baseline(),
+        feasibility=scheduler.feasibility(),
+    )

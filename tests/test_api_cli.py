@@ -187,10 +187,18 @@ class TestRunResume:
 
 
 class TestSweepCLI:
-    def test_sweeps_lists_registry(self, capsys):
+    def test_sweeps_lists_registry_with_point_counts(self, capsys):
+        from repro.orchestration import expand
+
         assert main(["sweeps"]) == 0
-        out = capsys.readouterr().out.split()
-        assert set(out) == set(experiments.sweep_names())
+        lines = capsys.readouterr().out.splitlines()
+        listed = {line.split()[0] for line in lines}
+        assert listed == set(experiments.sweep_names())
+        # Every line sizes its sweep so users can plan before launching.
+        for line in lines:
+            name, count, unit = line.split()
+            assert unit == "points"
+            assert int(count) == len(expand(experiments.get_sweep(name)))
 
     def test_sweep_parallel_rows_match_serial_runs(self, tmp_path):
         """Acceptance: a 4-point seed sweep at --jobs 2 is bit-identical

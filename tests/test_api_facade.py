@@ -127,13 +127,15 @@ class TestPreRunGuard:
         assert len(row.bit_widths) == len(handles) - 1
 
 
-class TestDeprecationShim:
-    def test_private_name_warns_and_delegates(self):
+class TestPublicTrainUntilSaturation:
+    def test_public_name_is_the_api(self):
+        # The deprecation shim for the old `_`-prefixed name is gone;
+        # the public method is the only spelling.
         runner = build_runner(micro_config())
         runner.ctx.prepare()
-        with pytest.warns(DeprecationWarning, match="train_until_saturation"):
-            epochs, accuracy = runner.quantizer._train_until_saturation(
-                runner.train_loader
-            )
+        assert not hasattr(runner.quantizer, "_train_until_saturation")
+        epochs, accuracy = runner.quantizer.train_until_saturation(
+            runner.train_loader
+        )
         assert epochs >= 1
         assert 0.0 <= accuracy <= 1.0

@@ -1,0 +1,137 @@
+"""Executor backends: mid-stream worker death must not hang the driver.
+
+The process backend is exercised with a worker that genuinely *dies*
+(``os._exit``, no exception, no cleanup — the shape of an OOM kill or
+segfault); the serial backend with an injected ``execute`` that raises
+(the closest in-process analogue: a crash escaping
+``execute_point``'s structured capture).  In both cases the driver loop
+must come back with a structured ``failed`` point for every submitted
+task — never a hang, never a silently shorter sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import (
+    ProcessExecutor,
+    Scheduler,
+    SerialExecutor,
+    SweepPoint,
+    SweepRunner,
+    execute_point,
+)
+from repro.orchestration.scheduler import DONE
+
+
+def micro_config(seed=0):
+    return experiments.get_config("vgg11-micro-smoke").evolve(
+        quant={"max_iterations": 1, "max_epochs_per_iteration": 1,
+               "min_epochs_per_iteration": 1},
+        model={"seed": seed}, data={"seed": seed},
+    )
+
+
+DEATH_SEED = 7
+
+
+def die_on_marked_seed(task):
+    """Worker entry point that *dies* (not raises) on the marked seed.
+
+    Module-level so it pickles into pool workers.  ``os._exit`` skips
+    all exception handling and interpreter cleanup — the worker process
+    simply vanishes, exactly like an external kill.
+    """
+    if task["config"]["model"]["seed"] == DEATH_SEED:
+        os._exit(1)
+    return execute_point(task)
+
+
+def raise_instead_of_outcome(task):
+    """An execute seam violating the capture-everything contract."""
+    if task["config"]["model"]["seed"] == DEATH_SEED:
+        raise RuntimeError("worker crashed before producing an outcome")
+    return execute_point(task)
+
+
+class TestSerialBackend:
+    def test_crashing_execute_becomes_failed_point(self):
+        result = SweepRunner(execute=raise_instead_of_outcome).run([
+            SweepPoint(label="ok", config=micro_config(0)),
+            SweepPoint(label="dies", config=micro_config(DEATH_SEED)),
+            SweepPoint(label="ok-too", config=micro_config(1)),
+        ])
+        assert [p.status for p in result.points] == ["ok", "failed", "ok"]
+        failed = result.points[1]
+        assert "executor crashed" in failed.error
+        assert "worker crashed" in failed.error
+        assert failed.traceback
+        assert result.stats["failed"] == 1
+        assert not result.ok
+
+    def test_next_result_without_submissions_raises(self):
+        with pytest.raises(RuntimeError, match="no tasks pending"):
+            SerialExecutor(execute_point).next_result()
+
+
+class TestProcessBackend:
+    def test_dying_worker_becomes_failed_point(self):
+        # jobs=2 with a single dying task: the pool breaks, the driver
+        # must get a structured failure back instead of hanging.
+        result = SweepRunner(jobs=2, execute=die_on_marked_seed).run([
+            SweepPoint(label="dies", config=micro_config(DEATH_SEED)),
+        ])
+        (point,) = result.points
+        assert point.status == "failed"
+        assert "executor crashed" in point.error
+        assert result.stats == {"total": 1, "executed": 0, "cached": 0,
+                                "failed": 1}
+
+    def test_every_dying_worker_accounted_for(self):
+        # Two tasks dying in-flight together: both must come back as
+        # structured failures (the broken pool fails all its futures).
+        bad = micro_config(DEATH_SEED)
+        result = SweepRunner(jobs=2, execute=die_on_marked_seed).run([
+            SweepPoint(label="dies-a", config=bad),
+            SweepPoint(label="dies-b", config=bad.evolve(
+                data={"noise": 0.5})),
+        ])
+        assert [p.status for p in result.points] == ["failed", "failed"]
+        assert all("executor crashed" in p.error for p in result.points)
+
+    def test_pool_recreated_after_death_for_later_proposals(self):
+        # An adaptive scheduler proposing a good point *after* a worker
+        # death must get a fresh pool, not the broken one.
+        points = [
+            SweepPoint(label="dies", config=micro_config(DEATH_SEED)),
+            SweepPoint(label="recovers", config=micro_config(0)),
+        ]
+
+        class AfterFailure(Scheduler):
+            def __init__(self):
+                self._issued = 0
+
+            def next_points(self, completed):
+                if len(completed) < self._issued:
+                    return []
+                if self._issued < len(points):
+                    point = points[self._issued]
+                    self._issued += 1
+                    return [point]
+                return DONE
+
+        result = SweepRunner(
+            jobs=2, execute=die_on_marked_seed
+        ).run_scheduler(AfterFailure(), name="recovery")
+        assert [p.status for p in result.points] == ["failed", "ok"]
+        assert result.points[1].payload["report"]["rows"]
+
+    def test_next_result_without_submissions_raises(self):
+        executor = ProcessExecutor(2, execute_point)
+        with pytest.raises(RuntimeError, match="no tasks pending"):
+            executor.next_result()
+
+    def test_rejects_single_job(self):
+        with pytest.raises(ValueError, match="jobs >= 2"):
+            ProcessExecutor(1, execute_point)

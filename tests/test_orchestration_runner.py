@@ -168,9 +168,33 @@ class TestCaching:
         # Run-count instrumentation: zero training on the second pass.
         assert second_executor.calls == 0
         assert second.stats == {"total": 2, "executed": 0, "cached": 2,
-                                "failed": 0}
+                                "failed": 0, "cache_hits": 2,
+                                "cache_misses": 0}
         assert [p.payload for p in second.points] \
             == [p.payload for p in first.points]
+
+    def test_cache_activity_surfaces_in_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = SweepRunner(cache=cache).run(micro_sweep())
+        assert cold.cache_stats == {"hits": 0, "misses": 2}
+        assert cold.stats["cache_hits"] == 0
+        assert cold.stats["cache_misses"] == 2
+        warm = SweepRunner(cache=cache).run(micro_sweep())
+        assert warm.cache_stats == {"hits": 2, "misses": 0}
+        # Duplicate points share one lookup: one miss, fanned out twice.
+        dup = SweepRunner(cache=ResultCache(tmp_path / "other")).run(
+            micro_sweep(seeds=(9, 9))
+        )
+        assert dup.cache_stats == {"hits": 0, "misses": 1}
+        assert dup.stats["total"] == 2
+
+    def test_no_cache_means_no_cache_counters(self):
+        result = SweepRunner().run(micro_sweep())
+        assert result.cache_stats is None
+        assert "cache_hits" not in result.stats
+        # The transportable payload never carries run-local cache
+        # counters, so warm and cold runs serialize identically.
+        assert "cache_hits" not in result.to_dict()["stats"]
 
     def test_cached_and_fresh_points_mix(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -1,0 +1,287 @@
+"""Scheduler protocol, StaticScheduler bit-identity, driver semantics."""
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import (
+    DONE,
+    ResultCache,
+    Scheduler,
+    StaticScheduler,
+    SweepConfig,
+    SweepPoint,
+    SweepRunner,
+    execute_point,
+    expand,
+    sweep_out_payload,
+)
+
+
+def micro_sweep(seeds=(0, 1), **quant):
+    overrides = {"max_iterations": 1, "max_epochs_per_iteration": 1,
+                 "min_epochs_per_iteration": 1}
+    overrides.update(quant)
+    return SweepConfig(
+        name="micro",
+        base=experiments.get_config("vgg11-micro-smoke").evolve(
+            quant=overrides
+        ),
+        seeds=tuple(seeds),
+    )
+
+
+def micro_point(label, seed=0):
+    config = experiments.get_config("vgg11-micro-smoke").evolve(
+        quant={"max_iterations": 1, "max_epochs_per_iteration": 1,
+               "min_epochs_per_iteration": 1},
+        model={"seed": seed}, data={"seed": seed},
+    )
+    return SweepPoint(label=label, config=config)
+
+
+# ---------------------------------------------------------------------------
+# The pre-split SweepRunner.run, reimplemented verbatim (serial path) as
+# the reference for the bit-identity regression: the scheduler/executor
+# driver must reproduce its results, stats, and streamed payloads
+# exactly on a static point list.
+# ---------------------------------------------------------------------------
+
+def legacy_run(points, name, cache=None, on_point=None):
+    from repro.orchestration import PointResult
+
+    points = list(points)
+    total = len(points)
+    results = [None] * total
+
+    def finish(position, result):
+        results[position] = result
+        if on_point is not None:
+            on_point(result, position, total)
+
+    groups = {}
+    for position, point in enumerate(points):
+        groups.setdefault(point.config.cache_key(), []).append(position)
+
+    pending = []
+    for key, positions in groups.items():
+        payload = cache.load(points[positions[0]].config) if cache else None
+        if payload is None:
+            pending.append(key)
+            continue
+        for position in positions:
+            point = points[position]
+            finish(position, PointResult(
+                label=point.label, key=key, status="cached",
+                payload=payload, config=point.config, index=point.index,
+            ))
+
+    for key in pending:
+        leader = groups[key][0]
+        outcome = execute_point(
+            {"index": leader, "config": points[leader].config.to_dict()}
+        )
+        if outcome["status"] == "ok" and cache is not None:
+            cache.store(points[leader].config, outcome["payload"])
+        for position in groups[key]:
+            point = points[position]
+            finish(position, PointResult(
+                label=point.label, key=key, status=outcome["status"],
+                payload=outcome.get("payload"),
+                error=outcome.get("error"),
+                traceback=outcome.get("traceback"),
+                duration=outcome.get("duration", 0.0),
+                config=point.config, index=point.index,
+            ))
+
+    from repro.orchestration import SweepResult
+
+    return SweepResult(name=name, points=list(results))
+
+
+def _normalized(payload):
+    """A sweep payload with run-local durations zeroed."""
+    import copy
+
+    payload = copy.deepcopy(payload)
+    for point in payload["points"]:
+        point["duration"] = 0.0
+    return payload
+
+
+class StreamCapture:
+    """Records the sweep --out payload after every finished point."""
+
+    def __init__(self, name, points):
+        self.name = name
+        self.points = list(points)
+        self.results = [None] * len(self.points)
+        self.writes = []
+
+    def on_point(self, result, position, total):
+        self.results[position] = result
+        self.writes.append(_normalized(
+            sweep_out_payload(self.name, self.points, self.results)
+        ))
+
+
+class TestStaticBitIdentity:
+    """Acceptance: the refactored driver is bit-identical to the
+    pre-split runner on the ``smoke-seeds`` preset — result rows, stats,
+    and every intermediate streamed ``--out`` payload, cold and warm."""
+
+    def test_smoke_seeds_cold_and_warm(self, tmp_path):
+        sweep = experiments.get_sweep("smoke-seeds")
+        points = expand(sweep)
+
+        for label, caches in (
+            ("cold", (None, None)),
+            ("warm", (ResultCache(tmp_path / "legacy"),
+                      ResultCache(tmp_path / "driver"))),
+        ):
+            legacy_cache, driver_cache = caches
+            if label == "warm":  # populate both caches identically first
+                legacy_run(points, sweep.name, cache=legacy_cache)
+                SweepRunner(cache=driver_cache).run(sweep, points=points)
+
+            legacy_stream = StreamCapture(sweep.name, points)
+            legacy = legacy_run(points, sweep.name, cache=legacy_cache,
+                                on_point=legacy_stream.on_point)
+            driver_stream = StreamCapture(sweep.name, points)
+            driver = SweepRunner(
+                cache=driver_cache, on_point=driver_stream.on_point
+            ).run(sweep, points=points)
+
+            assert _normalized(driver.to_dict()) \
+                == _normalized(legacy.to_dict()), label
+            assert [p.status for p in driver.points] \
+                == [p.status for p in legacy.points], label
+            assert [p.payload for p in driver.points] \
+                == [p.payload for p in legacy.points], label
+            # The streamed payload sequence — every intermediate state of
+            # a hypothetical --out file — matches write for write.
+            assert driver_stream.writes == legacy_stream.writes, label
+
+    def test_scheduler_path_equals_run_path(self):
+        sweep = micro_sweep()
+        points = expand(sweep)
+        via_run = SweepRunner().run(sweep, points=points)
+        via_scheduler = SweepRunner().run_scheduler(
+            StaticScheduler(points), name=sweep.name
+        )
+        assert _normalized(via_scheduler.to_dict()) \
+            == _normalized(via_run.to_dict())
+
+
+class TestStaticScheduler:
+    def test_issues_once_then_done(self):
+        points = [micro_point("a"), micro_point("b", seed=1)]
+        scheduler = StaticScheduler(points)
+        assert scheduler.next_points(()) == points
+        assert scheduler.next_points(()) is DONE
+
+    def test_empty_list_is_done_immediately(self):
+        scheduler = StaticScheduler([])
+        assert scheduler.next_points(()) is DONE
+        result = SweepRunner().run([])
+        assert result.points == [] and result.stats["total"] == 0
+
+    def test_rejects_non_points(self):
+        with pytest.raises(TypeError, match="not a SweepPoint"):
+            StaticScheduler(["nope"])
+
+    def test_done_sentinel_is_falsy_singleton(self):
+        from repro.orchestration import Done
+
+        assert not DONE
+        assert Done() is DONE
+        assert repr(DONE) == "DONE"
+
+
+class OneAtATime(Scheduler):
+    """Toy adaptive scheduler: proposes each point only after the
+    previous one completed, then re-proposes the first config (the
+    driver must hand the recorded result back without re-running)."""
+
+    name = "one-at-a-time"
+
+    def __init__(self, points, repropose_first=False):
+        self.points = list(points)
+        self.repropose_first = repropose_first
+        self._issued = 0
+        self._extra_issued = False
+
+    def next_points(self, completed):
+        if len(completed) < self._issued:
+            return []  # wait for the in-flight point
+        if self._issued < len(self.points):
+            point = self.points[self._issued]
+            self._issued += 1
+            return [point]
+        if self.repropose_first and not self._extra_issued:
+            self._extra_issued = True
+            self._issued += 1
+            duplicate = self.points[0]
+            return [SweepPoint(label=f"{duplicate.label}-again",
+                               config=duplicate.config)]
+        return DONE
+
+
+class TestAdaptiveDriving:
+    def test_sequential_proposals_complete(self):
+        points = expand(micro_sweep(seeds=(0, 1, 2)))
+        result = SweepRunner().run_scheduler(OneAtATime(points))
+        assert result.stats["total"] == 3
+        assert [p.label for p in result.points] \
+            == [p.label for p in points]
+
+    def test_reproposed_config_reuses_recorded_result(self):
+        class CountingExecutor:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, task):
+                self.calls += 1
+                return execute_point(task)
+
+        points = expand(micro_sweep(seeds=(0, 1)))
+        executor = CountingExecutor()
+        result = SweepRunner(execute=executor).run_scheduler(
+            OneAtATime(points, repropose_first=True)
+        )
+        # Three points completed but only two configs ever trained.
+        assert executor.calls == 2
+        assert result.stats["total"] == 3
+        assert result.points[2].label == f"{points[0].label}-again"
+        assert result.points[2].payload == result.points[0].payload
+
+    def test_deadlocked_scheduler_raises(self):
+        class Stuck(Scheduler):
+            def next_points(self, completed):
+                return []
+
+        with pytest.raises(RuntimeError, match="wait forever"):
+            SweepRunner().run_scheduler(Stuck())
+
+    def test_on_schedule_reports_growing_point_list(self):
+        batches = []
+
+        def on_schedule(new_points, total):
+            batches.append(([p.label for p in new_points], total))
+
+        points = expand(micro_sweep(seeds=(0, 1)))
+        SweepRunner(on_schedule=on_schedule).run_scheduler(
+            OneAtATime(points)
+        )
+        assert batches == [
+            ([points[0].label], 1),
+            ([points[1].label], 2),
+        ]
+
+    def test_parallel_adaptive_batches(self):
+        # A scheduler issuing a 2-point batch under jobs=2 exercises the
+        # process backend inside the driver loop.
+        points = expand(micro_sweep(seeds=(0, 1)))
+        serial = SweepRunner(jobs=1).run(micro_sweep(seeds=(0, 1)))
+        parallel = SweepRunner(jobs=2).run_scheduler(StaticScheduler(points))
+        assert [p.payload for p in parallel.points] \
+            == [p.payload for p in serial.points]

@@ -1,0 +1,332 @@
+"""SearchConfig, AD-guided bit search, successive halving, run_search."""
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import (
+    DONE,
+    ADSearchScheduler,
+    PointResult,
+    ResultCache,
+    SearchConfig,
+    SuccessiveHalvingScheduler,
+    SweepAxis,
+    build_scheduler,
+    planned_trials,
+    run_search,
+)
+
+
+def micro_base(**quant):
+    overrides = {"max_iterations": 1, "max_epochs_per_iteration": 1,
+                 "min_epochs_per_iteration": 1}
+    overrides.update(quant)
+    return experiments.get_config("vgg11-micro-smoke").evolve(quant=overrides)
+
+
+def ad_search(**kwargs):
+    defaults = dict(name="test-search", base=micro_base(),
+                    strategy="ad-bits", accuracy_drop=0.05, max_trials=6,
+                    min_bits=2)
+    defaults.update(kwargs)
+    return SearchConfig(**defaults)
+
+
+def fake_result(point, accuracy=0.5, total_ad=0.5, model_pj=1000.0,
+                status="ok"):
+    """A PointResult with a fabricated report (no training needed)."""
+    payload = None
+    if status != "failed":
+        payload = {
+            "report": {
+                "architecture": "fake", "dataset": "fake",
+                "layer_names": ["l0"],
+                "rows": [{
+                    "iteration": 1, "label": "",
+                    "bit_widths": [16], "channel_counts": None,
+                    "test_accuracy": accuracy, "total_ad": total_ad,
+                    "energy_efficiency": 1.0, "epochs": 1,
+                    "train_complexity": 1.0,
+                }],
+            },
+            "artifacts": {"analytical_energy": {
+                "model_total_pj": model_pj,
+                "baseline_total_pj": model_pj * 2,
+            }},
+        }
+    return PointResult(
+        label=point.label, key=point.config.cache_key(), status=status,
+        payload=payload, config=point.config, index=point.index,
+    )
+
+
+def drive(scheduler, outcomes):
+    """Hand-drive a scheduler: outcomes[label-bits] -> fake_result kwargs.
+
+    Returns the proposed bit sequence, feeding each proposal's result
+    back before asking for the next.
+    """
+    completed = []
+    proposed = []
+    while True:
+        batch = scheduler.next_points(tuple(completed))
+        if batch is DONE:
+            return proposed
+        assert batch, "scheduler stalled with nothing in flight"
+        for point in batch:
+            bits = point.config.quant.initial_bits
+            proposed.append(bits)
+            completed.append(fake_result(point, **outcomes(bits)))
+
+
+class TestSearchConfig:
+    def test_round_trip_and_cache_key(self):
+        search = ad_search()
+        clone = SearchConfig.from_dict(search.to_dict())
+        assert clone == search
+        assert clone.cache_key() == search.cache_key()
+
+    def test_round_trip_with_preset_and_axes(self):
+        search = SearchConfig(
+            name="halving", preset="vgg11-micro-smoke", strategy="halving",
+            axes=(SweepAxis("quant.initial_bits", (4, 8)),),
+            budgets=(1, 2), keep=0.5,
+        )
+        clone = SearchConfig.from_dict(search.to_dict())
+        assert clone == search
+        assert clone.axes[0].values == (4, 8)
+        assert clone.cache_key() == search.cache_key()
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "search.json"
+        search = ad_search()
+        search.to_json(path)
+        assert SearchConfig.from_json(path) == search
+
+    @pytest.mark.parametrize("bad", [
+        dict(base=None, preset=""),                   # neither source
+        dict(preset="x"),                             # both sources
+        dict(strategy="genetic"),                     # unknown strategy
+        dict(objective="vibes"),                      # unknown objective
+        dict(accuracy_drop=-0.1),
+        dict(max_trials=0),
+        dict(min_bits=0),
+        dict(budgets=(1, 2)),                         # budgets w/o halving
+        dict(axes=(SweepAxis("lr", (1e-3,)),)),       # axes w/o halving
+    ])
+    def test_validation_rejects(self, bad):
+        kwargs = dict(name="s", base=micro_base(), strategy="ad-bits")
+        kwargs.update(bad)
+        with pytest.raises((ValueError, TypeError)):
+            SearchConfig(**kwargs)
+
+    @pytest.mark.parametrize("bad", [
+        dict(budgets=()),                             # halving needs budgets
+        dict(budgets=(2, 1)),                         # must increase
+        dict(budgets=(1, 1)),                         # strictly
+        dict(budgets=(1, 2), keep=1.0),
+        dict(budgets=(1, 2), budget_path=""),
+    ])
+    def test_halving_validation_rejects(self, bad):
+        kwargs = dict(name="s", base=micro_base(), strategy="halving",
+                      budgets=(1, 2))
+        kwargs.update(bad)
+        with pytest.raises(ValueError):
+            SearchConfig(**kwargs)
+
+    def test_energy_objective_requires_analytical_stage(self):
+        base = micro_base().evolve(energy={"analytical": False, "pim": False})
+        with pytest.raises(ValueError, match="analytical energy"):
+            build_scheduler(ad_search(base=base))
+        # The accuracy objective has no such dependency.
+        build_scheduler(ad_search(base=base, objective="test_accuracy"))
+
+    def test_build_scheduler_dispatch(self):
+        assert isinstance(build_scheduler(ad_search()), ADSearchScheduler)
+        halving = SearchConfig(name="h", base=micro_base(),
+                               strategy="halving", budgets=(1, 2))
+        assert isinstance(build_scheduler(halving),
+                          SuccessiveHalvingScheduler)
+
+    def test_planned_trials(self):
+        count, exact = planned_trials(ad_search(max_trials=5))
+        assert (count, exact) == (5, False)
+        halving = SearchConfig(
+            name="h", base=micro_base(), strategy="halving",
+            axes=(SweepAxis("quant.initial_bits", (4, 8, 16, 32)),),
+            budgets=(1, 2, 3), keep=0.5,
+        )
+        # Rungs: 4 -> 2 -> 1.
+        assert planned_trials(halving) == (7, True)
+
+
+class TestADSearchScheduler:
+    def test_eqn3_descent_from_total_ad(self):
+        # AD 0.5 at every trial: 16 -> 8 -> 4 -> 2 (min_bits floor).
+        bits = drive(
+            ADSearchScheduler(ad_search()),
+            lambda b: dict(accuracy=0.5, total_ad=0.5, model_pj=b * 100.0),
+        )
+        assert bits == [16, 8, 4, 2]
+
+    def test_saturated_ad_steps_one_bit(self):
+        # AD ~ 1.0 means eqn. 3 is a fixpoint; the search probes b-1.
+        search = ad_search(max_trials=3)
+        bits = drive(
+            ADSearchScheduler(search),
+            lambda b: dict(accuracy=0.5, total_ad=1.0, model_pj=b * 100.0),
+        )
+        assert bits == [16, 15, 14]
+
+    def test_infeasible_trial_bisects_upward(self):
+        # 16 ok (-> 8), 8 ok (-> 4), 4 drops too far -> bisect to 6;
+        # 6 ok, and eqn. 3 would propose 3 — below the known-infeasible
+        # 4 — so the search refines the {5} gap instead, pinning the
+        # feasibility boundary exactly without wasting a trial.
+        def outcomes(b):
+            accuracy = 0.5 if b > 4 else 0.1
+            return dict(accuracy=accuracy, total_ad=0.5,
+                        model_pj=b * 100.0)
+
+        scheduler = ADSearchScheduler(ad_search())
+        bits = drive(scheduler, outcomes)
+        assert bits == [16, 8, 4, 6, 5]
+        best = scheduler.best()
+        assert best.config.quant.initial_bits == 5
+
+    def test_descent_never_probes_below_known_infeasible(self):
+        # Low AD makes eqn. 3 jump aggressively: 16 -> 5 infeasible ->
+        # bisect to 10; from 10 eqn. 3 would land at 3 (below the known
+        # failure at 5), so proposals redirect into the 6..9 gap.
+        def outcomes(b):
+            accuracy = 0.5 if b > 5 else 0.1
+            return dict(accuracy=accuracy, total_ad=0.3,
+                        model_pj=b * 100.0)
+
+        scheduler = ADSearchScheduler(ad_search())
+        bits = drive(scheduler, outcomes)
+        assert bits == [16, 5, 10, 7, 6]
+        assert scheduler.best().config.quant.initial_bits == 6
+
+    def test_best_is_lowest_energy_feasible(self):
+        scheduler = ADSearchScheduler(ad_search())
+        drive(scheduler,
+              lambda b: dict(accuracy=0.5, total_ad=0.5, model_pj=b * 100.0))
+        assert scheduler.best().config.quant.initial_bits == 2
+        assert scheduler.baseline().config.quant.initial_bits == 16
+        feasibility = scheduler.feasibility()
+        assert all(feasibility.values()) and len(feasibility) == 4
+
+    def test_max_trials_caps_search(self):
+        bits = drive(
+            ADSearchScheduler(ad_search(max_trials=2)),
+            lambda b: dict(accuracy=0.5, total_ad=0.5, model_pj=b * 100.0),
+        )
+        assert bits == [16, 8]
+
+    def test_crashed_baseline_ends_search(self):
+        scheduler = ADSearchScheduler(ad_search())
+        (point,) = scheduler.next_points(())
+        result = fake_result(point, status="failed")
+        assert scheduler.next_points((result,)) is DONE
+        assert scheduler.best() is None
+
+    def test_rejects_wrong_strategy(self):
+        halving = SearchConfig(name="h", base=micro_base(),
+                               strategy="halving", budgets=(1, 2))
+        with pytest.raises(ValueError, match="ad-bits"):
+            ADSearchScheduler(halving)
+
+
+class TestSuccessiveHalvingScheduler:
+    def halving_search(self, **kwargs):
+        defaults = dict(
+            name="halving", base=micro_base(), strategy="halving",
+            axes=(SweepAxis("quant.initial_bits", (4, 8, 16, 32)),),
+            budget_path="quant.max_iterations", budgets=(1, 2), keep=0.5,
+        )
+        defaults.update(kwargs)
+        return SearchConfig(**defaults)
+
+    def test_prunes_low_accuracy_half_each_rung(self):
+        scheduler = SuccessiveHalvingScheduler(self.halving_search())
+        rung0 = scheduler.next_points(())
+        assert [p.config.quant.max_iterations for p in rung0] == [1, 1, 1, 1]
+        # Higher starting bits -> higher fabricated accuracy.
+        completed = [
+            fake_result(p, accuracy=p.config.quant.initial_bits / 100)
+            for p in rung0
+        ]
+        rung1 = scheduler.next_points(tuple(completed))
+        assert [p.config.quant.initial_bits for p in rung1] == [32, 16]
+        assert [p.config.quant.max_iterations for p in rung1] == [2, 2]
+        completed += [
+            fake_result(p, accuracy=p.config.quant.initial_bits / 100,
+                        model_pj=p.config.quant.initial_bits * 10.0)
+            for p in rung1
+        ]
+        assert scheduler.next_points(tuple(completed)) is DONE
+        # Best by energy objective among the final rung: 16 beats 32.
+        assert scheduler.best().config.quant.initial_bits == 16
+        feasibility = scheduler.feasibility()
+        assert sum(feasibility.values()) == 4  # 2 survivors + final rung
+
+    def test_crashed_point_never_survives(self):
+        scheduler = SuccessiveHalvingScheduler(self.halving_search())
+        rung0 = scheduler.next_points(())
+        completed = []
+        for point in rung0:
+            if point.config.quant.initial_bits == 32:
+                completed.append(fake_result(point, status="failed"))
+            else:
+                completed.append(fake_result(
+                    point, accuracy=point.config.quant.initial_bits / 100))
+        rung1 = scheduler.next_points(tuple(completed))
+        assert 32 not in [p.config.quant.initial_bits for p in rung1]
+
+    def test_rejects_wrong_strategy(self):
+        with pytest.raises(ValueError, match="halving"):
+            SuccessiveHalvingScheduler(ad_search())
+
+
+class TestRunSearchEndToEnd:
+    def test_trained_search_finds_feasible_best(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        search = ad_search(accuracy_drop=0.5, max_trials=3)
+        result = run_search(search, cache=cache)
+        assert result.stats["total"] <= 3
+        assert result.ok
+        assert result.best is not None and result.baseline is not None
+        # The searched best stays within the accuracy budget and costs
+        # no more analytical energy than the reference trial.
+        from repro.orchestration.search import trial_metrics
+
+        best, base = trial_metrics(result.best), trial_metrics(result.baseline)
+        assert best["test_accuracy"] >= base["test_accuracy"] - 0.5
+        assert best["model_total_pj"] <= base["model_total_pj"]
+        # And beats the uniform-precision starting network outright.
+        assert best["model_total_pj"] < base["baseline_total_pj"]
+
+        report = result.report()
+        assert report.best_entry is not None
+        assert "Search — test-search" in report.format()
+
+        # Warm re-run: every trial comes back from cache, same best.
+        warm = run_search(search, cache=cache)
+        assert warm.stats["executed"] == 0
+        assert warm.stats["cached"] == warm.stats["total"]
+        assert warm.best.key == result.best.key
+
+    def test_search_payload_shape(self, tmp_path):
+        search = ad_search(accuracy_drop=0.5, max_trials=2)
+        result = run_search(search)
+        payload = result.to_dict()
+        assert payload["sweep"] == "test-search"
+        assert payload["stats"]["total"] == len(payload["points"])
+        section = payload["search"]
+        assert section["strategy"] == "ad-bits"
+        assert section["best"]["config"] is not None
+        assert section["best"]["metrics"]["model_total_pj"] > 0
+        assert set(section["feasibility"]) == {
+            p["key"] for p in payload["points"]
+        }

@@ -215,22 +215,34 @@ class TestMergeSweepPayloads:
 
 class TestRunnerAccounting:
     def test_lost_result_raises_instead_of_silent_drop(self):
-        dropped = []
+        # An executor backend that swallows every second submission: the
+        # driver must raise, naming the unaccounted-for point, instead of
+        # returning a silently shorter sweep.
+        from repro.orchestration import SerialExecutor
 
-        def dropping_executor(task):
-            dropped.append(task["index"])
-            outcome = execute_point(task)
-            return outcome if len(dropped) == 1 else None
+        class SwallowingExecutor(SerialExecutor):
+            def __init__(self, execute):
+                super().__init__(execute)
+                self._count = 0
+
+            def submit(self, task):
+                self._count += 1
+                if self._count == 1:
+                    super().submit(task)
 
         class SwallowingRunner(SweepRunner):
-            def _execute_all(self, tasks):
-                for task in tasks:
-                    outcome = self.execute(task)
-                    if outcome is not None:
-                        yield outcome
+            def _make_executor(self):
+                return SwallowingExecutor(self.execute)
 
         with pytest.raises(RuntimeError, match="lost 1 point"):
-            SwallowingRunner(execute=dropping_executor).run(micro_sweep())
+            SwallowingRunner().run(micro_sweep())
+
+    def test_garbage_outcome_raises(self):
+        def garbage_executor(task):
+            return None  # violates the outcome-dict contract
+
+        with pytest.raises(RuntimeError, match="non-outcome"):
+            SweepRunner(execute=garbage_executor).run(micro_sweep())
 
     def test_mislabeled_result_raises(self):
         def mislabeling_executor(task):
