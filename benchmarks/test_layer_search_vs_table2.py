@@ -1,0 +1,105 @@
+"""E14 — Per-layer bit-vector search vs. the paper's Table II(b) assignment.
+
+Runs a ``layer-bits`` search (scalar AD descent seeding energy-ranked
+per-layer -1-bit moves) on the Table II(b) workload (ResNet18 on
+CIFAR-100) and costs the searched per-layer assignment against the
+paper's iteration-3 bit vector on the *same* bench-scale ResNet18
+geometry and analytical energy model.  Expected shape (not absolute
+numbers): the search stays within its accuracy-drop budget, its winner
+costs no more than the seed phase's scalar winner (the moves only ever
+lower analytical energy), and the assignment lands in the same energy
+regime as the paper's hand-reported vector.
+"""
+
+from repro.api import experiments
+from repro.energy import (
+    AnalyticalEnergyModel,
+    profile_model,
+    trace_geometry,
+)
+from repro.models import resnet18
+from repro.orchestration import SearchConfig, run_search
+from repro.orchestration.search import bit_vector_of, trial_metrics
+from repro.quant import QuantizationPlan
+from repro.utils import format_table
+
+from common import PAPER_RESNET18_BITS_ITER3
+
+
+def assignment_energy_pj(model, bits):
+    names = model.layer_handles().names()
+    assert len(names) == len(bits)
+    plan = QuantizationPlan.from_bit_vector(zip(names, bits))
+    return AnalyticalEnergyModel().network_energy_pj(
+        profile_model(model, plan=plan)
+    )
+
+
+def test_layer_searched_assignment_vs_paper_table2b(benchmark):
+    search = SearchConfig(
+        name="bench-resnet18-layer-bits",
+        description=("Table II(b) per-layer refinement at bench budget: "
+                     "2 scalar seed trials, then layer moves."),
+        preset="resnet18-cifar100-quant",
+        strategy="layer-bits",
+        objective="energy_efficiency",
+        accuracy_drop=0.10,
+        max_trials=5,
+        seed_trials=2,
+        min_bits=2,
+    )
+
+    def run():
+        return run_search(search)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.ok and result.best is not None
+
+    best = trial_metrics(result.best)
+    baseline = trial_metrics(result.baseline)
+    vector = bit_vector_of(result.best)
+
+    # Cost the searched and the paper's assignments on one geometry:
+    # the bench-scale ResNet18 the search trained (width 0.125).
+    model_config = experiments.get_config("resnet18-cifar100-quant").model
+    data_config = experiments.get_config("resnet18-cifar100-quant").data
+    model = resnet18(num_classes=model_config.num_classes,
+                     width_multiplier=model_config.width_multiplier)
+    trace_geometry(model, (3, data_config.image_size,
+                           data_config.image_size))
+    layer_count = len(model.layer_handles())
+    uniform_pj = assignment_energy_pj(model, [16] * layer_count)
+    searched_pj = assignment_energy_pj(model, best["bit_widths"])
+    paper_pj = assignment_energy_pj(model, PAPER_RESNET18_BITS_ITER3)
+
+    print()
+    print(format_table(
+        ["Assignment", "Bit-widths", "Energy (pJ)", "Eff vs 16-bit"],
+        [
+            ["uniform 16-bit", str([16] * layer_count),
+             f"{uniform_pj:.3e}", "1.00x"],
+            ["searched best", str(best["bit_widths"]),
+             f"{searched_pj:.3e}", f"{uniform_pj / searched_pj:.2f}x"],
+            ["paper Table II(b)", str(PAPER_RESNET18_BITS_ITER3),
+             f"{paper_pj:.3e}", f"{uniform_pj / paper_pj:.2f}x"],
+        ],
+        title="Layer-searched vs. paper bit vector (ResNet18, bench scale)",
+    ))
+    print(f"search trials: {result.stats['total']}, "
+          f"best: {result.best.label}")
+    print(f"winning vector: {vector}")
+
+    # Within the configured accuracy-drop budget, by construction —
+    # asserted against the trial metrics to keep the guarantee honest.
+    assert best["test_accuracy"] \
+        >= baseline["test_accuracy"] - search.accuracy_drop
+    # The layer moves never cost more than the scalar seed's winner.
+    assert best["model_total_pj"] <= baseline["model_total_pj"]
+    # Beats the uniform-precision network outright.
+    assert uniform_pj / searched_pj > 1.5
+    # Same energy regime as the paper's hand-reported assignment: at
+    # least half the paper vector's efficiency on this geometry.
+    assert uniform_pj / searched_pj >= 0.5 * (uniform_pj / paper_pj)
+    # The search's own absolute-energy bookkeeping agrees with the
+    # assignment costing done here (same model, same constants).
+    assert abs(best["model_total_pj"] - searched_pj) / searched_pj < 1e-6

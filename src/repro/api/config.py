@@ -62,17 +62,74 @@ def _from_dict(cls, payload: dict):
 
 
 def _to_dict(config) -> dict:
-    """Recursive plain-dict form (tuples become lists for JSON)."""
+    """Recursive plain-dict form (tuples become lists for JSON).
+
+    Nested configs render through their own ``to_dict`` so per-class
+    canonicalization (e.g. :class:`QuantConfig`'s omitted-when-empty
+    ``layer_bits``) applies at any nesting depth.
+    """
     out = {}
     for spec in fields(config):
         value = getattr(config, spec.name)
-        if dataclasses.is_dataclass(value):
+        if isinstance(value, _ConfigBase):
+            out[spec.name] = value.to_dict()
+        elif dataclasses.is_dataclass(value):
             out[spec.name] = _to_dict(value)
         elif isinstance(value, tuple):
             out[spec.name] = list(value)
         else:
             out[spec.name] = value
     return out
+
+
+def _canonical_layer_bits(value) -> tuple:
+    """Normalize a per-layer bit map to a sorted ``((name, bits), ...)``.
+
+    Accepts a ``{name: bits}`` mapping or an iterable of pairs (the JSON
+    and evolve forms); the canonical tuple keeps frozen configs hashable
+    and makes ``cache_key()`` independent of map insertion order.
+    """
+    if isinstance(value, dict):
+        items = list(value.items())
+    else:
+        items = []
+        for pair in value:
+            pair = tuple(pair)
+            if len(pair) != 2:
+                raise ValueError(
+                    f"layer_bits entries must be (name, bits) pairs, "
+                    f"got {pair!r}"
+                )
+            items.append(pair)
+    for name, bits in items:
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"layer_bits keys must be non-empty layer names, got {name!r}"
+            )
+        if not isinstance(bits, int) or isinstance(bits, bool) or bits < 1:
+            raise ValueError(
+                f"layer_bits[{name!r}] must be an integer >= 1, got {bits!r}"
+            )
+    names = [name for name, _ in items]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate layer_bits entries for {duplicates}")
+    return tuple(sorted(items))
+
+
+def _canonical_layer_names(value, field_name: str) -> tuple:
+    """Normalize a layer-name collection to a sorted, validated tuple."""
+    names = list(value)
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"{field_name} entries must be non-empty layer names, "
+                f"got {name!r}"
+            )
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate {field_name} entries for {duplicates}")
+    return tuple(sorted(names))
 
 
 def canonical_json(payload: dict) -> str:
@@ -197,7 +254,16 @@ class DataConfig(_ConfigBase):
 
 @dataclass(frozen=True)
 class QuantConfig(_ConfigBase):
-    """Algorithm-1 schedule plus the AD-saturation criterion."""
+    """Algorithm-1 schedule plus the AD-saturation criterion.
+
+    ``layer_bits`` overrides the starting precision of individual layers
+    (by registry name); ``layer_frozen`` pins layers so eqn.-3 AD
+    scaling never re-quantizes them — together they express one searched
+    per-layer assignment (a Table II/III bit vector) as a config.  Both
+    are stored canonically sorted and *omitted* from :meth:`to_dict`
+    when empty, so configs that never touch them keep their historical
+    ``cache_key()`` and the result cache stays warm.
+    """
 
     initial_bits: int = 16
     frozen_bits: int = 16
@@ -209,8 +275,21 @@ class QuantConfig(_ConfigBase):
     saturation_window: int = 5
     saturation_tolerance: float = 0.02
     baseline_epochs: int | None = None
+    layer_bits: tuple = ()
+    layer_frozen: tuple = ()
 
     def __post_init__(self):
+        # Normalize the per-layer maps before the shared validation so
+        # dict / pair-list inputs (JSON, evolve) become one canonical
+        # hashable form.
+        object.__setattr__(
+            self, "layer_bits", _canonical_layer_bits(self.layer_bits)
+        )
+        object.__setattr__(
+            self,
+            "layer_frozen",
+            _canonical_layer_names(self.layer_frozen, "layer_frozen"),
+        )
         # Reuse the schedule's own validation for the shared fields.
         self.to_schedule()
         if self.saturation_window < 2:
@@ -219,6 +298,37 @@ class QuantConfig(_ConfigBase):
             raise ValueError("saturation_tolerance must be positive")
         if self.baseline_epochs is not None and self.baseline_epochs < 1:
             raise ValueError("baseline_epochs must be >= 1 when set")
+
+    @property
+    def layer_bits_map(self) -> dict:
+        """The per-layer override map as a plain ``{name: bits}`` dict."""
+        return dict(self.layer_bits)
+
+    def to_dict(self) -> dict:
+        out = _to_dict(self)
+        # Canonical dict form when set; omitted entirely when unset so
+        # pre-override configs hash (and cache) identically to before.
+        if self.layer_bits:
+            out["layer_bits"] = self.layer_bits_map
+        else:
+            del out["layer_bits"]
+        if not self.layer_frozen:
+            del out["layer_frozen"]
+        return out
+
+    def validate_layers(self, layer_names) -> None:
+        """Check every override/pin names a layer of the built model."""
+        known = set(layer_names)
+        for field_name, names in (
+            ("layer_bits", [name for name, _ in self.layer_bits]),
+            ("layer_frozen", self.layer_frozen),
+        ):
+            unknown = sorted(set(names) - known)
+            if unknown:
+                raise ValueError(
+                    f"{field_name} names unknown layers {unknown} "
+                    f"(model layers: {sorted(known)})"
+                )
 
     def to_schedule(self):
         from repro.core.ad_quant import QuantizationSchedule
@@ -231,6 +341,8 @@ class QuantConfig(_ConfigBase):
             min_epochs_per_iteration=self.min_epochs_per_iteration,
             final_epochs=self.final_epochs,
             min_bits=self.min_bits,
+            layer_bits=self.layer_bits_map,
+            layer_frozen=self.layer_frozen,
         )
 
     def to_saturation(self):

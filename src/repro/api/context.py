@@ -325,6 +325,10 @@ def build_context(config) -> ExperimentContext:
 
     train_loader, test_loader = _build_data(config)
     model = _build_model(config)
+    # Per-layer overrides are validated here, at build time, so a bad
+    # layer name fails before any training (and with the model's real
+    # layer list in the message).
+    config.quant.validate_layers(model.layer_handles().names())
     trainer = Trainer(model, _build_optimizer(config, model), CrossEntropyLoss())
     quantizer = ADQuantizer(
         trainer, config.quant.to_schedule(), config.quant.to_saturation()

@@ -251,6 +251,20 @@ def _ensure_searches() -> None:
         budgets=(1, 3),
         keep=0.5,
     )
+    _SEARCHES["search-vgg19-layer-bits"] = SearchConfig(
+        name="search-vgg19-layer-bits",
+        description=("Per-layer bit-vector search on the Table II(a) "
+                     "workload: the scalar AD descent seeds a survivor, "
+                     "then energy-ranked -1-bit layer moves refine it "
+                     "within the accuracy budget."),
+        preset="vgg19-cifar10-quant",
+        strategy="layer-bits",
+        objective="energy_efficiency",
+        accuracy_drop=0.10,
+        max_trials=10,
+        seed_trials=4,
+        min_bits=2,
+    )
     _SEARCHES["search-smoke-bits"] = SearchConfig(
         name="search-smoke-bits",
         description=("Seconds-scale AD bit-width search for CI "
@@ -260,6 +274,22 @@ def _ensure_searches() -> None:
         objective="energy_efficiency",
         accuracy_drop=0.30,
         max_trials=4,
+        min_bits=2,
+    )
+    # The seed phase mirrors search-smoke-bits exactly (same base, drop,
+    # min_bits, 4 seed trials), so its trials replay as cache hits after
+    # the scalar smoke search and the winning vector's energy is <= the
+    # scalar winner's by construction.
+    _SEARCHES["search-smoke-layer-bits"] = SearchConfig(
+        name="search-smoke-layer-bits",
+        description=("Seconds-scale per-layer bit-vector search for CI "
+                     "(scalar seed phase shared with search-smoke-bits)."),
+        preset="vgg11-micro-smoke",
+        strategy="layer-bits",
+        objective="energy_efficiency",
+        accuracy_drop=0.30,
+        max_trials=7,
+        seed_trials=4,
         min_bits=2,
     )
     # Only mark ready once every preset built (see _ensure_sweeps).

@@ -205,6 +205,7 @@ class EnergyReportStage(Stage):
 
     def run(self, ctx) -> None:
         baseline = ctx.energy_model.network_energy(ctx.baseline_profiles)
+        plan = ctx.quantizer.plan
         current = ctx.energy_model.network_energy(ctx.profiles())
         ctx.artifacts["analytical_energy"] = {
             "baseline_total_pj": baseline.total_pj,
@@ -213,6 +214,11 @@ class EnergyReportStage(Stage):
             "model_mem_pj": current.mem_pj,
             "efficiency": baseline.total_pj / current.total_pj,
             "per_layer_pj": dict(current.per_layer_pj),
+            # The final assignment as a first-class artifact: the
+            # algorithmic bit vector plus its hardware-snapped form
+            # (what the PIM platform would actually execute).
+            "bit_vector": plan.to_bit_vector(),
+            "hardware_bit_widths": plan.hardware_bit_widths(),
         }
 
 
@@ -240,6 +246,7 @@ class PIMEvalStage(Stage):
             "full_precision_uj": full.total_uj,
             "mixed_precision_uj": mixed.total_uj,
             "reduction": full.total_uj / mixed.total_uj,
+            "hardware_bit_widths": ctx.quantizer.plan.hardware_bit_widths(),
         }
 
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro sweep --preset vgg11-micro-smoke --seeds 0,1,2,3
     python -m repro sweep --preset table2-grid --shard 0/2 --out s0.json
     python -m repro search --preset search-vgg19-bits --out search.json
+    python -m repro search --preset search-vgg19-layer-bits --out layers.json
+    python -m repro search --preset search-smoke-bits --strategy layer-bits
     python -m repro cache export --out cache.tgz
     python -m repro cache merge /mnt/hostb/.repro-cache
     python -m repro merge-sweeps s0.json s1.json --out merged.json
@@ -25,7 +27,8 @@ optionally in parallel workers, optionally one deterministic shard of
 the grid per host — streaming every finished point into an
 incrementally rewritten ``--out`` aggregate.  ``search`` runs an
 *adaptive* schedule instead: finished trials propose the next ones
-(AD-guided bit-width descent or successive halving), so it cannot be
+(AD-guided bit-width descent, per-layer bit-vector refinement, or
+successive halving), so it cannot be
 sharded — ``--shard`` is rejected with an explanation — but trials
 share the result cache like any other run.  ``cache export/import/
 merge`` move result-cache entries between hosts and ``merge-sweeps``
@@ -197,7 +200,13 @@ def _cmd_run(args) -> int:
                     print(f"report written to {args.out}")
             return 0
 
-    experiment = experiments.Experiment(config)
+    try:
+        experiment = experiments.Experiment(config)
+    except ValueError as error:
+        # Config -> live-object translation failures (e.g. layer_bits
+        # naming a layer the model does not have) are user-input
+        # problems, same as resolution failures above.
+        raise CLIError(_clean_message(error)) from error
     pipeline = experiment.pipeline
     if args.out:
         pipeline.stages.append(ExportStage(args.out, format=args.format))
@@ -483,11 +492,27 @@ def _resolve_search(args):
                     f"unknown search preset {args.preset!r}; available: "
                     f"{', '.join(experiments.search_names())}"
                 ) from None
+        # Strategy switches apply first so the knob guards below judge
+        # the strategy that will actually run.
+        if args.strategy is not None and args.strategy != search.strategy:
+            changes = {"strategy": args.strategy}
+            if args.strategy != "layer-bits" and search.seed_trials:
+                # seed_trials is a layer-bits-only knob; leaving a
+                # preset's value behind would make the switch invalid.
+                changes["seed_trials"] = 0
+            search = search.evolve(**changes)
         overrides = {}
         if args.max_trials is not None:
             overrides["max_trials"] = args.max_trials
         if args.drop is not None:
             overrides["accuracy_drop"] = args.drop
+        if args.seed_trials is not None:
+            if search.strategy != "layer-bits":
+                raise CLIError(
+                    "--seed-trials only applies to layer-bits searches "
+                    "(the scalar seed phase of the per-layer search)"
+                )
+            overrides["seed_trials"] = args.seed_trials
         if overrides and search.strategy == "halving":
             # Halving's trial count is fixed by axes x budgets x keep and
             # its feasibility is rung survival: these knobs would be
@@ -499,8 +524,9 @@ def _resolve_search(args):
                 if present
             )
             raise CLIError(
-                f"{flags} only applies to ad-bits searches; a halving "
-                "search is sized by its axes, budgets, and keep fraction"
+                f"{flags} only applies to ad-bits/layer-bits searches; a "
+                "halving search is sized by its axes, budgets, and keep "
+                "fraction"
             )
         if overrides:
             search = search.evolve(**overrides)
@@ -805,11 +831,19 @@ def build_parser() -> argparse.ArgumentParser:
     search_source.add_argument(
         "--config", help="path to a SearchConfig JSON file"
     )
+    search.add_argument("--strategy",
+                        choices=("ad-bits", "layer-bits", "halving"),
+                        help="override the search strategy (e.g. run an "
+                             "ad-bits preset as a per-layer bit-vector "
+                             "search with layer-bits)")
     search.add_argument("--max-trials", type=int, dest="max_trials",
                         help="override the search's trial budget")
     search.add_argument("--drop", type=float,
                         help="override the accuracy-drop budget "
                              "(absolute, e.g. 0.02)")
+    search.add_argument("--seed-trials", type=int, dest="seed_trials",
+                        help="layer-bits only: trials spent on the scalar "
+                             "AD seed phase (default: half the budget)")
     search.add_argument("--jobs", type=int, default=1,
                         help="parallel workers (halving rungs fan out; "
                              "the AD search is inherently sequential)")

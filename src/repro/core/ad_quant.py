@@ -22,7 +22,7 @@ follower mechanism (Fig. 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.trainer import Trainer
 from repro.density import SaturationDetector
@@ -60,7 +60,13 @@ class IterationRecord:
 
 @dataclass
 class QuantizationSchedule:
-    """Hyper-parameters of the Algorithm-1 run."""
+    """Hyper-parameters of the Algorithm-1 run.
+
+    ``layer_bits`` overrides individual layers' *starting* precision
+    (eqn.-3 scaling still drives them afterwards); names listed in
+    ``layer_frozen`` are additionally pinned — their bits never change,
+    like the role-frozen first/last layers.
+    """
 
     initial_bits: int = 16
     frozen_bits: int = 16
@@ -69,6 +75,8 @@ class QuantizationSchedule:
     min_epochs_per_iteration: int = 1
     final_epochs: int = 0
     min_bits: int = 1
+    layer_bits: dict[str, int] = field(default_factory=dict)
+    layer_frozen: tuple = ()
 
     def __post_init__(self):
         if self.initial_bits < 1 or self.frozen_bits < 1:
@@ -81,6 +89,16 @@ class QuantizationSchedule:
             raise ValueError("max_epochs < min_epochs")
         if self.min_bits < 1:
             raise ValueError("min_bits must be >= 1")
+        for name, bits in self.layer_bits.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(
+                    f"layer_bits keys must be layer names, got {name!r}"
+                )
+            if not isinstance(bits, int) or isinstance(bits, bool) or bits < 1:
+                raise ValueError(
+                    f"layer_bits[{name!r}] must be an integer >= 1, "
+                    f"got {bits!r}"
+                )
 
 
 class ADQuantizer:
@@ -113,12 +131,34 @@ class ADQuantizer:
     # Plan management
     # ------------------------------------------------------------------
     def initial_plan(self) -> QuantizationPlan:
-        """Uniform ``initial_bits`` plan with frozen first/last layers."""
+        """The ``initial_bits`` plan with frozen first/last layers.
+
+        Per-layer ``schedule.layer_bits`` entries override the uniform
+        start (an explicit entry wins even on the role-frozen first/last
+        layers); names in ``schedule.layer_frozen`` are pinned so
+        :meth:`update_plan` never rescales them.
+        """
+        overrides = dict(self.schedule.layer_bits)
+        pinned = set(self.schedule.layer_frozen)
+        known = set(self.registry.names())
+        unknown = sorted((set(overrides) | pinned) - known)
+        if unknown:
+            raise ValueError(
+                f"layer overrides name unknown layers {unknown} "
+                f"(model layers: {sorted(known)})"
+            )
         specs = []
         for handle in self.registry:
             frozen = handle.role in ("first", "last")
-            bits = self.schedule.frozen_bits if frozen else self.schedule.initial_bits
-            specs.append(LayerQuantSpec(handle.name, bits, frozen=frozen))
+            default = self.schedule.frozen_bits if frozen else self.schedule.initial_bits
+            bits = overrides.get(handle.name, default)
+            specs.append(
+                LayerQuantSpec(
+                    handle.name,
+                    bits,
+                    frozen=frozen or handle.name in pinned,
+                )
+            )
         return QuantizationPlan(specs)
 
     def apply_plan(self, plan: QuantizationPlan) -> None:

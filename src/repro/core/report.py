@@ -92,6 +92,17 @@ class SearchEntry(SweepEntry):
     feasible: bool | None = None
     best: bool = False
 
+    @property
+    def bit_vector(self) -> dict | None:
+        """The trial's final per-layer assignment as ``{name: bits}``."""
+        row = self.final_row
+        if row is None or self.report is None:
+            return None
+        names = self.report.layer_names
+        if len(names) != len(row.bit_widths):
+            return None
+        return dict(zip(names, row.bit_widths))
+
 
 @dataclass
 class SearchReport:
@@ -115,6 +126,12 @@ class SearchReport:
             if entry.best:
                 return entry
         return None
+
+    @property
+    def best_bit_vector(self) -> dict | None:
+        """The winning trial's per-layer assignment (None without one)."""
+        best = self.best_entry
+        return best.bit_vector if best is not None else None
 
     @property
     def failed(self) -> list[SearchEntry]:
@@ -155,6 +172,12 @@ class SearchReport:
                 f"best: {best.label} — acc {row.test_accuracy * 100:.2f}%, "
                 f"energy eff {row.energy_efficiency:.2f}x"
             )
+            vector = best.bit_vector
+            if vector is not None:
+                assignment = ", ".join(
+                    f"{name}={bits}" for name, bits in vector.items()
+                )
+                lines.append(f"bit vector: {assignment}")
         if self.failed:
             lines.append("failures:")
             lines += [f"  {e.label}: {e.error}" for e in self.failed]

@@ -9,7 +9,8 @@ checkpoint/resume.
 Execution is split into three composable pieces: a
 :class:`~repro.orchestration.scheduler.Scheduler` proposes points
 (:class:`StaticScheduler` for pre-expanded grids,
-:class:`ADSearchScheduler` / :class:`SuccessiveHalvingScheduler` for
+:class:`ADSearchScheduler` / :class:`LayerBitSearchScheduler` /
+:class:`SuccessiveHalvingScheduler` for
 searches where finished points propose new ones), an executor backend
 (:class:`SerialExecutor` / :class:`ProcessExecutor`, with dead-worker
 detection) runs them, and the :class:`SweepRunner` driver loop joins
@@ -77,13 +78,16 @@ from repro.orchestration.scheduler import (
 )
 from repro.orchestration.search import (
     ADSearchScheduler,
+    LayerBitSearchScheduler,
     SearchConfig,
     SearchResult,
     SuccessiveHalvingScheduler,
+    bit_vector_of,
     build_scheduler,
     planned_trials,
     run_search,
     search_out_payload,
+    seed_halving_grid,
 )
 from repro.orchestration.sweep import (
     ShardSpec,
@@ -104,6 +108,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DONE",
     "Done",
+    "LayerBitSearchScheduler",
     "PointResult",
     "ProcessExecutor",
     "ResultCache",
@@ -120,6 +125,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "axis_labels",
+    "bit_vector_of",
     "build_scheduler",
     "crash_outcome",
     "execute_point",
@@ -131,6 +137,7 @@ __all__ = [
     "run_payload",
     "run_search",
     "search_out_payload",
+    "seed_halving_grid",
     "shard_assignment",
     "shard_points",
     "sweep_out_payload",

@@ -3,7 +3,7 @@
 The paper's loop is *reactive* — watch activation density, then lower
 precision — and this module lifts that reactivity from the epoch level
 to the experiment level: completed runs propose the next run's
-:class:`~repro.api.config.QuantConfig`.  Two strategies ship:
+:class:`~repro.api.config.QuantConfig`.  Three strategies ship:
 
 * :class:`ADSearchScheduler` (``strategy="ad-bits"``) — an AD-guided
   descent over the schedule's starting precision.  The first trial runs
@@ -15,6 +15,12 @@ to the experiment level: completed runs propose the next run's
   The best trial maximizes the energy objective (the analytical
   :mod:`repro.energy.analytical` efficiency reported by every run)
   among trials within the budget.
+* :class:`LayerBitSearchScheduler` (``strategy="layer-bits"``) — a
+  per-layer bit-vector refinement: a scalar AD seed phase
+  (``seed_trials``) finds a survivor assignment, then one trial per
+  move steps the layer with the largest analytical-energy share down a
+  bit, pinned via ``quant.layer_bits`` + ``quant.layer_frozen``, inside
+  the accuracy-drop budget.
 * :class:`SuccessiveHalvingScheduler` (``strategy="halving"``) — a
   grid over ``axes`` evaluated in rungs of increasing ``budgets``
   (values written to ``budget_path``); after each rung only the top
@@ -51,7 +57,7 @@ from repro.orchestration.runner import (
 from repro.orchestration.scheduler import DONE, Done, Scheduler
 from repro.orchestration.sweep import SweepAxis, SweepConfig, SweepPoint, expand
 
-STRATEGIES = ("ad-bits", "halving")
+STRATEGIES = ("ad-bits", "layer-bits", "halving")
 OBJECTIVES = ("energy_efficiency", "test_accuracy")
 
 
@@ -76,6 +82,7 @@ class SearchConfig(_ConfigBase):
     accuracy_drop: float = 0.02
     max_trials: int = 8
     min_bits: int = 2
+    seed_trials: int = 0
     axes: tuple = ()
     budget_path: str = "quant.max_iterations"
     budgets: tuple = ()
@@ -108,6 +115,18 @@ class SearchConfig(_ConfigBase):
         for axis in self.axes:
             if not isinstance(axis, SweepAxis):
                 raise TypeError(f"not a SweepAxis: {axis!r}")
+        if self.strategy == "layer-bits":
+            if self.seed_trials < 0:
+                raise ValueError("seed_trials must be >= 0")
+            if self.seed_trials >= self.max_trials:
+                raise ValueError(
+                    f"seed_trials ({self.seed_trials}) must leave room "
+                    f"for layer moves within max_trials ({self.max_trials})"
+                )
+        elif self.seed_trials:
+            raise ValueError(
+                "seed_trials only applies to the layer-bits strategy"
+            )
         if self.strategy == "halving":
             if not self.budgets:
                 raise ValueError("the halving strategy needs budgets")
@@ -224,6 +243,27 @@ def trial_metrics(result: PointResult) -> dict | None:
             if field_name in energy:
                 metrics[field_name] = energy[field_name]
     return metrics
+
+
+def bit_vector_of(result: PointResult) -> dict | None:
+    """A completed trial's final per-layer assignment as ``{name: bits}``.
+
+    Pairs the report's ``layer_names`` with the final row's
+    ``bit_widths`` — the form :meth:`QuantizationPlan.from_bit_vector`
+    accepts, and the payload the ``repro search --out`` ``"search"``
+    section publishes for the winning trial.
+    """
+    if result is None or not result.payload:
+        return None
+    report = result.payload.get("report") or {}
+    names = report.get("layer_names") or []
+    row = final_row_of(result)
+    if row is None or not names:
+        return None
+    bits = row.get("bit_widths") or []
+    if len(bits) != len(names):
+        return None
+    return dict(zip(names, bits))
 
 
 def objective_value(objective: str, metrics: dict) -> float:
@@ -381,6 +421,11 @@ class ADSearchScheduler(Scheduler):
         return candidates[0] if candidates else None
 
     # ------------------------------------------------------------------
+    @property
+    def trials(self) -> list[dict]:
+        """Trial records in proposal order (read-only view for wrappers)."""
+        return list(self._trials)
+
     def best(self) -> PointResult | None:
         """The feasible trial maximizing the objective (fewest bits on ties)."""
         objective = self.search.objective
@@ -403,6 +448,240 @@ class ADSearchScheduler(Scheduler):
     def feasibility(self) -> dict:
         """Cache key -> feasibility verdict for every trial so far."""
         return {t["key"]: t["feasible"] for t in self._trials}
+
+
+class LayerBitSearchScheduler(Scheduler):
+    """Per-layer bit-vector search seeded by an AD-search survivor.
+
+    Two sequential phases share one trial budget (``max_trials``):
+
+    1. **Seed** — an inner :class:`ADSearchScheduler` (``seed_trials``
+       proposals; half the budget when unset) runs the scalar eqn.-3
+       descent over ``quant.initial_bits``.  Its best feasible trial is
+       the *survivor*; the survivor run's final report row already *is*
+       a per-layer bit vector (Algorithm 1 converged it), which becomes
+       the incumbent assignment.
+    2. **Layer moves** — one trial per move: the layer with the largest
+       share of the incumbent's analytical energy
+       (``analytical_energy.per_layer_pj``) steps down one bit; the
+       whole vector is pinned via ``quant.layer_bits`` +
+       ``quant.layer_frozen`` so the trial trains *at* the proposed
+       assignment.  A move inside the accuracy-drop budget is accepted
+       (it strictly lowers analytical energy — energy is monotone in
+       bits); an infeasible move reverts and blocks that layer, and the
+       next-ranked layer is tried.  Role-frozen first/last layers and
+       config-pinned layers never move.
+
+    Feasibility is judged against the *first* trial's accuracy (the base
+    config at its own schedule), exactly like the scalar search, so the
+    winning vector's analytical energy is never worse than the scalar
+    AD-search winner's at the same accuracy budget.
+    """
+
+    def __init__(self, search: SearchConfig):
+        if search.strategy != "layer-bits":
+            raise ValueError(
+                f"LayerBitSearchScheduler needs strategy 'layer-bits', "
+                f"got {search.strategy!r}"
+            )
+        self.search = search
+        self.base = resolve_base(search)
+        if not self.base.energy.analytical:
+            raise ValueError(
+                f"search {search.name!r} ranks layer moves by each "
+                "layer's analytical-energy share, but its base config "
+                "disables the analytical energy stage "
+                "(energy.analytical=false)"
+            )
+        self.name = search.name
+        seed_budget = search.seed_trials or max(1, search.max_trials // 2)
+        self._inner = ADSearchScheduler(search.evolve(
+            strategy="ad-bits", max_trials=seed_budget, seed_trials=0,
+        ))
+        self._phase = "seed"
+        self._seen = 0
+        self._total = 0
+        self._in_flight = False
+        self._done = False
+        self._trials: list[dict] = []  # layer-phase trials only
+        self._tried: set[tuple] = set()
+        self._vector: dict | None = None
+        self._immovable: set[str] = set()
+        self._blocked: set[str] = set()
+        self._incumbent: dict | None = None
+        self._ref_accuracy: float | None = None
+
+    # ------------------------------------------------------------------
+    def next_points(self, completed) -> list[SweepPoint] | Done:
+        if self._phase == "seed":
+            self._seen = len(completed)
+            batch = self._inner.next_points(completed)
+            if not isinstance(batch, Done):
+                self._total += len(batch)
+                return batch
+            self._begin_layer_phase()
+        else:
+            for result in completed[self._seen:]:
+                self._absorb(result)
+            self._seen = len(completed)
+        if self._done:
+            return DONE
+        if self._in_flight:
+            return []
+        if self._total >= self.search.max_trials:
+            return DONE
+        move = self._next_move()
+        if move is None:
+            return DONE
+        return [self._propose(*move)]
+
+    def _begin_layer_phase(self) -> None:
+        """Adopt the seed phase's survivor vector as the incumbent."""
+        self._phase = "layers"
+        survivor = self._inner.best()
+        base_metrics = trial_metrics(self._inner.baseline())
+        vector = bit_vector_of(survivor)
+        if survivor is None or base_metrics is None or vector is None:
+            # No feasible seed (or a crashed reference): nothing to
+            # refine per-layer.
+            self._done = True
+            return
+        self._ref_accuracy = base_metrics["test_accuracy"]
+        self._vector = vector
+        names = list(vector)
+        # The role-frozen boundary layers (registry order = report
+        # order) and any config-pinned layers never move.
+        self._immovable = {names[0], names[-1]}
+        self._immovable.update(
+            name for name in self.base.quant.layer_frozen if name in vector
+        )
+        self._incumbent = {
+            "result": survivor,
+            "metrics": trial_metrics(survivor),
+            "vector": vector,
+        }
+        self._tried.add(tuple(sorted(vector.items())))
+
+    # ------------------------------------------------------------------
+    def _next_move(self) -> tuple[str, dict] | None:
+        """The highest-energy movable layer, stepped down one bit."""
+        artifacts = (self._incumbent["result"].payload or {}).get(
+            "artifacts"
+        ) or {}
+        energies = (artifacts.get("analytical_energy") or {}).get(
+            "per_layer_pj"
+        ) or {}
+        # Rank by energy share, highest first; layers the artifact does
+        # not cover (it should cover all) sort last by vector order.
+        ranked = sorted(
+            self._vector,
+            key=lambda name: (-energies.get(name, 0.0), name),
+        )
+        for name in ranked:
+            if name in self._immovable or name in self._blocked:
+                continue
+            bits = self._vector[name]
+            if bits - 1 < self.search.min_bits:
+                continue
+            candidate = dict(self._vector)
+            candidate[name] = bits - 1
+            if tuple(sorted(candidate.items())) in self._tried:
+                continue
+            return name, candidate
+        return None
+
+    def _propose(self, layer: str, vector: dict) -> SweepPoint:
+        config = self.base.evolve(quant={
+            "layer_bits": vector,
+            # Pin every layer: the trial trains *at* this assignment
+            # (eqn. 3 finds an immediate fixpoint, one iteration).
+            "layer_frozen": sorted(vector),
+        })
+        label = f"{self.base.name}[{layer}={vector[layer]}]"
+        self._trials.append({
+            "layer": layer,
+            "vector": vector,
+            "key": config.cache_key(),
+            "label": label,
+            "result": None,
+            "metrics": None,
+            "feasible": None,
+        })
+        self._tried.add(tuple(sorted(vector.items())))
+        self._in_flight = True
+        self._total += 1
+        return SweepPoint(
+            label=label,
+            config=config,
+            overrides=((layer, vector[layer]),),
+            index=self._total - 1,
+        )
+
+    def _absorb(self, result: PointResult) -> None:
+        trial = next(
+            (t for t in self._trials
+             if t["key"] == result.key and t["result"] is None),
+            None,
+        )
+        if trial is None:
+            return  # a seed-phase result the inner scheduler already saw
+        self._in_flight = False
+        trial["result"] = result
+        metrics = trial_metrics(result)
+        trial["metrics"] = metrics
+        name = trial["layer"]
+        if metrics is None:
+            trial["feasible"] = False
+            self._blocked.add(name)
+            return
+        feasible = (
+            metrics["test_accuracy"]
+            >= self._ref_accuracy - self.search.accuracy_drop
+        )
+        trial["feasible"] = feasible
+        if feasible:
+            # Accepted: the move becomes the incumbent assignment and
+            # the next move re-ranks from its per-layer energies.
+            self._vector = trial["vector"]
+            self._incumbent = trial
+        else:
+            # Reverted (the +1 direction of the ±1 move) and blocked.
+            self._blocked.add(name)
+
+    # ------------------------------------------------------------------
+    def _all_trials(self) -> list[dict]:
+        return self._inner.trials + self._trials
+
+    def best(self) -> PointResult | None:
+        """The feasible trial (either phase) maximizing the objective."""
+        objective = self.search.objective
+        candidates = [
+            (position, t)
+            for position, t in enumerate(self._all_trials())
+            if t["feasible"] and t["metrics"]
+        ]
+        if not candidates:
+            return None
+        top = max(
+            candidates,
+            key=lambda pair: (
+                objective_value(objective, pair[1]["metrics"]),
+                pair[0],  # ties break toward the later (refined) trial
+            ),
+        )
+        return top[1]["result"]
+
+    def baseline(self) -> PointResult | None:
+        """The reference trial (the base config at its own schedule)."""
+        return self._inner.baseline()
+
+    def feasibility(self) -> dict:
+        """Cache key -> feasibility verdict across both phases."""
+        return {t["key"]: t["feasible"] for t in self._all_trials()}
+
+    def best_bit_vector(self) -> dict | None:
+        """The current best trial's per-layer assignment (None early)."""
+        return bit_vector_of(self.best())
 
 
 class SuccessiveHalvingScheduler(Scheduler):
@@ -547,7 +826,42 @@ def build_scheduler(search: SearchConfig) -> Scheduler:
     """The scheduler instance a :class:`SearchConfig` describes."""
     if search.strategy == "ad-bits":
         return ADSearchScheduler(search)
+    if search.strategy == "layer-bits":
+        return LayerBitSearchScheduler(search)
     return SuccessiveHalvingScheduler(search)
+
+
+def seed_halving_grid(halving: SearchConfig, ad_result: "SearchResult",
+                      path: str = "quant.initial_bits") -> SearchConfig:
+    """Seed a halving search's grid from an AD search's survivors.
+
+    The ROADMAP's "halving scheduler could seed its grid from AD-search
+    survivors": every feasible trial of ``ad_result`` contributes its
+    ``quant.initial_bits`` value, and the returned config replaces
+    ``halving``'s ``path`` axis with that survivor set — so the rung
+    pruning starts from precisions the adaptive descent already judged
+    viable instead of a hand-written grid.
+    """
+    if halving.strategy != "halving":
+        raise ValueError(
+            f"seed_halving_grid needs a halving search, "
+            f"got strategy {halving.strategy!r}"
+        )
+    survivors = sorted({
+        point.config.quant.initial_bits
+        for point in ad_result.points
+        if point.config is not None
+        and ad_result.feasibility.get(point.key)
+    })
+    if not survivors:
+        raise ValueError(
+            f"search {ad_result.name!r} has no feasible survivors "
+            "to seed a halving grid from"
+        )
+    axes = tuple(a for a in halving.axes if a.path != path)
+    return halving.evolve(
+        axes=axes + (SweepAxis(path, tuple(survivors)),)
+    )
 
 
 def planned_trials(search: SearchConfig) -> tuple[int, bool]:
@@ -558,7 +872,7 @@ def planned_trials(search: SearchConfig) -> tuple[int, bool]:
     determined by its grid, budgets, and keep fraction (``exact=True``,
     assuming no duplicate grid configs).
     """
-    if search.strategy == "ad-bits":
+    if search.strategy in ("ad-bits", "layer-bits"):
         return search.max_trials, False
     count = 1
     for axis in search.axes:
@@ -605,6 +919,10 @@ def search_out_payload(search: SearchConfig, name: str, points, results,
         "config": search.to_dict(),
         "baseline": _point_summary(baseline),
         "best": _point_summary(best),
+        # The winning per-layer assignment ({layer: bits}, None until a
+        # best exists) — the artifact a layer-bits search is run for,
+        # published for every strategy since any best trial carries one.
+        "bit_vector": bit_vector_of(best),
         "feasibility": dict(feasibility) if feasibility is not None else {},
     }
     return payload

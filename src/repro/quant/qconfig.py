@@ -24,10 +24,20 @@ def snap_to_hardware_precision(
     """
     if bits < 1:
         raise ValueError("bit-width must be >= 1")
-    for precision in sorted(supported):
+    if not supported:
+        raise ValueError(
+            "supported precisions must be a non-empty tuple "
+            "(e.g. HARDWARE_PRECISIONS)"
+        )
+    precisions = sorted(supported)
+    if precisions[0] < 1:
+        raise ValueError(
+            f"supported precisions must all be >= 1, got {precisions}"
+        )
+    for precision in precisions:
         if bits <= precision:
             return precision
-    return max(supported)
+    return precisions[-1]
 
 
 @dataclass
@@ -84,6 +94,27 @@ class QuantizationPlan:
             if spec.name == name:
                 return spec
         raise KeyError(f"no spec for layer {name!r}")
+
+    @classmethod
+    def from_bit_vector(cls, vector, frozen=()) -> "QuantizationPlan":
+        """Build a plan from a ``{name: bits}`` map (or (name, bits) pairs).
+
+        The inverse of :meth:`to_bit_vector`: a searched per-layer
+        assignment becomes a first-class plan that the energy stages can
+        cost directly.  Names listed in ``frozen`` get pinned specs.
+        """
+        items = vector.items() if isinstance(vector, dict) else vector
+        pinned = set(frozen)
+        return cls(
+            [
+                LayerQuantSpec(name, bits, frozen=name in pinned)
+                for name, bits in items
+            ]
+        )
+
+    def to_bit_vector(self) -> dict[str, int]:
+        """The plan as an ordered ``{name: bits}`` map (a table bit vector)."""
+        return {spec.name: spec.bits for spec in self.specs}
 
     def bit_widths(self) -> list[int]:
         """Layer-wise bit-width vector, as printed in the paper tables."""

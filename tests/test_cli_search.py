@@ -104,6 +104,58 @@ class TestSearchCommand:
         assert payload["search"]["config"]["max_trials"] == 2
         assert payload["search"]["accuracy_drop"] == 0.9
 
+    def test_strategy_override_runs_layer_bits(self, micro_search, capsys):
+        out = micro_search["root"] / "layer-search.json"
+        code = main(["search", "--config", micro_search["config"],
+                     "--strategy", "layer-bits", "--seed-trials", "1",
+                     "--max-trials", "3",
+                     "--cache-dir", micro_search["cache_dir"],
+                     "--out", str(out), "--quiet"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        section = payload["search"]
+        assert section["strategy"] == "layer-bits"
+        # Layer-move trials carry pinned per-layer assignments.
+        moves = [p for p in payload["points"]
+                 if p["config"]["quant"].get("layer_bits")]
+        assert moves and all(
+            p["config"]["quant"]["layer_frozen"] for p in moves
+        )
+        # The winning bit vector is published and consistent.
+        vector = section["bit_vector"]
+        assert list(vector.values()) \
+            == section["best"]["metrics"]["bit_widths"]
+
+    def test_strategy_switch_away_from_layer_bits_drops_seed_trials(
+            self, micro_search, capsys):
+        # A layer-bits config carries seed_trials; switching it to
+        # ad-bits must not drag the layer-bits-only knob along.
+        layer = SearchConfig(
+            name="cli-layer-search",
+            base=micro_search["search"].base,
+            strategy="layer-bits", accuracy_drop=0.5,
+            max_trials=3, seed_trials=2, min_bits=2,
+        )
+        path = micro_search["root"] / "layer-config.json"
+        layer.to_json(path)
+        out = micro_search["root"] / "switched.json"
+        code = main(["search", "--config", str(path),
+                     "--strategy", "ad-bits",
+                     "--cache-dir", micro_search["cache_dir"],
+                     "--out", str(out), "--quiet"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["search"]["strategy"] == "ad-bits"
+        assert payload["search"]["config"]["seed_trials"] == 0
+
+    def test_seed_trials_rejected_outside_layer_bits(self, micro_search,
+                                                     capsys):
+        assert main(["search", "--config", micro_search["config"],
+                     "--seed-trials", "2", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "--seed-trials" in err and "layer-bits" in err
+        assert "Traceback" not in err
+
     def test_ad_bits_flags_rejected_for_halving(self, tmp_path, capsys):
         # --max-trials/--drop would be silently ignored by a halving
         # search; refusing them keeps the budget knobs honest.

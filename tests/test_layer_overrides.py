@@ -1,0 +1,203 @@
+"""Per-layer precision overrides end-to-end: config -> plan -> pipeline.
+
+Covers the `layer_bits` / `layer_frozen` thread through the stack: the
+canonicalized config form (cache-key stable, ordering-independent), the
+quantizer honouring overrides and pins, the bit-vector plan round trip,
+and build-time validation against the model's layer registry.
+"""
+
+import pytest
+
+from repro.api import experiments
+from repro.api.config import ExperimentConfig, QuantConfig
+from repro.api.context import build_context
+from repro.quant import LayerQuantSpec, QuantizationPlan
+
+
+def micro_config(**updates) -> ExperimentConfig:
+    config = experiments.get_config("vgg11-micro-smoke")
+    return config.evolve(**updates) if updates else config
+
+
+class TestQuantConfigLayerBits:
+    def test_map_and_pairs_normalize_identically(self):
+        from_map = QuantConfig(layer_bits={"b": 2, "a": 4})
+        from_pairs = QuantConfig(layer_bits=[("a", 4), ("b", 2)])
+        assert from_map == from_pairs
+        assert from_map.layer_bits == (("a", 4), ("b", 2))
+        assert from_map.layer_bits_map == {"a": 4, "b": 2}
+
+    def test_cache_key_independent_of_map_ordering(self):
+        # Satellite: trial configs differing only in layer_bits ordering
+        # must share one cache entry.
+        one = micro_config(quant={"layer_bits": {"conv2": 3, "conv3": 5}})
+        two = micro_config(quant={"layer_bits": {"conv3": 5, "conv2": 3}})
+        assert one == two
+        assert one.cache_key() == two.cache_key()
+
+    def test_unset_map_keeps_the_historical_cache_key(self):
+        # Regression: configs that never touch layer_bits must hash
+        # exactly as they did before the field existed, so warm
+        # `.repro-cache` entries keep hitting.  Keys recorded from the
+        # PR-4 code base.
+        assert micro_config().cache_key() == (
+            "21ef20295fc964c65ca95a2cc6e763ae23e36ed3fd7927ad6a783b0924c8ec43"
+        )
+        assert experiments.get_config("vgg19-cifar10-quant").cache_key() == (
+            "8453ffc1e13ae742a521418ef21aec204c5dd1beb1db3afcac13d26f271067f4"
+        )
+        assert ExperimentConfig().cache_key() == (
+            "a97431af07fa27dbe6f8fd28a4054c51ac4c750451fe5bcbbe5ac63641db8933"
+        )
+
+    def test_to_dict_omits_empty_maps(self):
+        payload = micro_config().to_dict()
+        assert "layer_bits" not in payload["quant"]
+        assert "layer_frozen" not in payload["quant"]
+
+    def test_dict_and_json_round_trip(self, tmp_path):
+        config = micro_config(quant={
+            "layer_bits": {"conv2": 3, "conv4": 6},
+            "layer_frozen": ["conv2"],
+        })
+        payload = config.to_dict()
+        assert payload["quant"]["layer_bits"] == {"conv2": 3, "conv4": 6}
+        assert payload["quant"]["layer_frozen"] == ["conv2"]
+        assert ExperimentConfig.from_dict(payload) == config
+        path = tmp_path / "config.json"
+        config.to_json(path)
+        assert ExperimentConfig.from_json(path) == config
+        hash(config)  # canonical tuples keep the config hashable
+
+    def test_evolve_replaces_the_map_wholesale(self):
+        config = micro_config(quant={"layer_bits": {"conv2": 3}})
+        cleared = config.evolve(quant={"layer_bits": {}})
+        assert cleared.quant.layer_bits == ()
+        assert cleared.cache_key() == micro_config().cache_key()
+
+    @pytest.mark.parametrize("bad", [
+        {"layer_bits": {"conv2": 0}},            # bits < 1
+        {"layer_bits": {"conv2": 2.5}},          # non-integer bits
+        {"layer_bits": {"": 4}},                 # empty name
+        {"layer_bits": [("conv2", 4, 1)]},       # malformed pair
+        {"layer_bits": [("conv2", 4), ("conv2", 8)]},  # duplicate name
+        {"layer_frozen": ["conv2", "conv2"]},    # duplicate pin
+        {"layer_frozen": [7]},                   # non-string pin
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ValueError):
+            QuantConfig(**bad)
+
+
+class TestQuantizerHonoursOverrides:
+    def test_initial_plan_applies_overrides_and_pins(self, micro_vgg):
+        from repro.core import ADQuantizer, QuantizationSchedule, Trainer
+        from repro.nn import Adam, CrossEntropyLoss
+
+        trainer = Trainer(micro_vgg, Adam(micro_vgg.parameters(), lr=3e-3),
+                          CrossEntropyLoss())
+        schedule = QuantizationSchedule(
+            initial_bits=16,
+            layer_bits={"conv2": 4, "conv1": 8},
+            layer_frozen=("conv3",),
+        )
+        plan = ADQuantizer(trainer, schedule).initial_plan()
+        assert plan.by_name("conv2").bits == 4
+        # An explicit entry wins even on the role-frozen first layer.
+        assert plan.by_name("conv1").bits == 8
+        assert plan.by_name("conv1").frozen
+        assert plan.by_name("conv3").bits == 16
+        assert plan.by_name("conv3").frozen
+        assert plan.by_name("conv4").bits == 16
+        assert not plan.by_name("conv4").frozen
+
+    def test_unknown_layer_rejected_by_initial_plan(self, micro_vgg):
+        from repro.core import ADQuantizer, QuantizationSchedule, Trainer
+        from repro.nn import Adam, CrossEntropyLoss
+
+        trainer = Trainer(micro_vgg, Adam(micro_vgg.parameters(), lr=3e-3),
+                          CrossEntropyLoss())
+        quantizer = ADQuantizer(
+            trainer, QuantizationSchedule(layer_bits={"nope": 4})
+        )
+        with pytest.raises(ValueError, match="nope"):
+            quantizer.initial_plan()
+
+    def test_update_plan_keeps_pinned_layers_fixed(self, micro_vgg):
+        from repro.core import ADQuantizer, QuantizationSchedule, Trainer
+        from repro.nn import Adam, CrossEntropyLoss
+
+        trainer = Trainer(micro_vgg, Adam(micro_vgg.parameters(), lr=3e-3),
+                          CrossEntropyLoss())
+        names = micro_vgg.layer_handles().names()
+        quantizer = ADQuantizer(
+            trainer,
+            QuantizationSchedule(layer_frozen=("conv2",)),
+        )
+        quantizer.apply_plan(quantizer.initial_plan())
+        densities = {name: 0.5 for name in names}
+        updated = quantizer.update_plan(densities)
+        assert updated.by_name("conv2").bits == 16   # pinned
+        assert updated.by_name("conv3").bits == 8    # eqn. 3 applied
+
+    def test_all_pinned_run_trains_one_iteration(self):
+        # A fully-pinned assignment is an eqn.-3 fixpoint: the pipeline
+        # trains exactly one iteration at the proposed vector.
+        config = micro_config()
+        names = ["conv1", "conv2", "conv3", "conv4", "conv5", "conv6",
+                 "conv7", "conv8", "fc"]
+        vector = {name: 16 for name in names}
+        vector.update({"conv2": 5, "conv5": 3})
+        pinned = config.evolve(quant={
+            "layer_bits": vector, "layer_frozen": names,
+        })
+        experiment = experiments.Experiment(pinned)
+        report = experiment.run()
+        assert len(report.rows) == 1
+        assert report.rows[0].bit_widths == [vector[n] for n in names]
+        energy = experiment.artifacts["analytical_energy"]
+        assert energy["bit_vector"] == vector
+        assert len(energy["hardware_bit_widths"]) == len(names)
+
+
+class TestBuildContextValidation:
+    def test_unknown_layer_fails_at_build_time(self):
+        config = micro_config(quant={"layer_bits": {"bogus": 4}})
+        with pytest.raises(ValueError, match="bogus"):
+            build_context(config)
+
+    def test_cli_run_reports_unknown_layer_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = micro_config(quant={"layer_bits": {"bogus": 4}})
+        path = tmp_path / "bad.json"
+        config.to_json(path)
+        assert main(["run", "--config", str(path), "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "Traceback" not in err
+
+    def test_unknown_pin_fails_at_build_time(self):
+        config = micro_config(quant={"layer_frozen": ["bogus"]})
+        with pytest.raises(ValueError, match="bogus"):
+            build_context(config)
+
+
+class TestBitVectorRoundTrip:
+    def test_plan_to_vector_to_plan(self):
+        plan = QuantizationPlan([
+            LayerQuantSpec("a", 16, frozen=True),
+            LayerQuantSpec("b", 3),
+            LayerQuantSpec("c", 5),
+        ])
+        vector = plan.to_bit_vector()
+        assert vector == {"a": 16, "b": 3, "c": 5}
+        clone = QuantizationPlan.from_bit_vector(vector, frozen=("a",))
+        assert clone.to_bit_vector() == vector
+        assert clone.bit_widths() == plan.bit_widths()
+        assert [s.name for s in clone] == [s.name for s in plan]
+        assert clone.by_name("a").frozen and not clone.by_name("b").frozen
+
+    def test_from_pairs_preserves_order(self):
+        plan = QuantizationPlan.from_bit_vector([("z", 4), ("a", 8)])
+        assert [s.name for s in plan] == ["z", "a"]
+        assert plan.bit_widths() == [4, 8]

@@ -6,14 +6,18 @@ from repro.api import experiments
 from repro.orchestration import (
     DONE,
     ADSearchScheduler,
+    LayerBitSearchScheduler,
     PointResult,
     ResultCache,
     SearchConfig,
     SuccessiveHalvingScheduler,
     SweepAxis,
+    SweepResult,
+    bit_vector_of,
     build_scheduler,
     planned_trials,
     run_search,
+    seed_halving_grid,
 )
 
 
@@ -238,6 +242,230 @@ class TestADSearchScheduler:
             ADSearchScheduler(halving)
 
 
+def layer_search(**kwargs):
+    defaults = dict(name="layer-search", base=micro_base(),
+                    strategy="layer-bits", accuracy_drop=0.05,
+                    max_trials=6, seed_trials=2, min_bits=2)
+    defaults.update(kwargs)
+    return SearchConfig(**defaults)
+
+
+LAYER_NAMES = ["l0", "l1", "l2"]
+# Per-bit energy weights making l1 dominate the ranking.
+LAYER_WEIGHTS = {"l0": 1.0, "l1": 100.0, "l2": 1.0}
+
+
+def layer_fake(point, accuracy=0.5, total_ad=0.5, status="ok"):
+    """A fabricated result whose bit vector mirrors the point's config.
+
+    Seed trials (no ``layer_bits``) pretend Algorithm 1 halved the
+    hidden layer; pinned layer-move trials report exactly the proposed
+    assignment.  Per-layer energies are ``bits * weight``.
+    """
+    payload = None
+    if status != "failed":
+        quant = point.config.quant
+        if quant.layer_bits:
+            bits = [quant.layer_bits_map[n] for n in LAYER_NAMES]
+        else:
+            bits = [16, max(1, quant.initial_bits // 2), 16]
+        per_layer = {
+            name: b * LAYER_WEIGHTS[name]
+            for name, b in zip(LAYER_NAMES, bits)
+        }
+        model_pj = sum(per_layer.values())
+        payload = {
+            "report": {
+                "architecture": "fake", "dataset": "fake",
+                "layer_names": list(LAYER_NAMES),
+                "rows": [{
+                    "iteration": 1, "label": "",
+                    "bit_widths": bits, "channel_counts": None,
+                    "test_accuracy": accuracy, "total_ad": total_ad,
+                    "energy_efficiency": 1.0, "epochs": 1,
+                    "train_complexity": 1.0,
+                }],
+            },
+            "artifacts": {"analytical_energy": {
+                "model_total_pj": model_pj,
+                "baseline_total_pj": model_pj * 2,
+                "per_layer_pj": per_layer,
+            }},
+        }
+    return PointResult(
+        label=point.label, key=point.config.cache_key(), status=status,
+        payload=payload, config=point.config, index=point.index,
+    )
+
+
+def drive_layers(scheduler, outcomes):
+    """Hand-drive a layer-bits scheduler; returns the proposed points."""
+    completed = []
+    proposed = []
+    while True:
+        batch = scheduler.next_points(tuple(completed))
+        if batch is DONE:
+            return proposed
+        assert batch, "scheduler stalled with nothing in flight"
+        for point in batch:
+            proposed.append(point)
+            completed.append(layer_fake(point, **outcomes(point)))
+
+
+class TestLayerBitSearchScheduler:
+    def test_seed_phase_then_energy_ranked_moves(self):
+        # Seed: 16 then 8 (AD 0.5, budget 2); survivor vector
+        # [16, 4, 16].  Layer phase: l1 dominates the energy ranking,
+        # l0/l2 are the immovable boundary layers -> moves probe l1=3
+        # (feasible, accepted) then l1=2 (infeasible, reverted) -> DONE.
+        def outcomes(point):
+            vector = point.config.quant.layer_bits_map
+            if vector and vector["l1"] <= 2:
+                return dict(accuracy=0.1)
+            return dict(accuracy=0.5)
+
+        scheduler = LayerBitSearchScheduler(layer_search())
+        proposed = drive_layers(scheduler, outcomes)
+        labels = [p.label for p in proposed]
+        assert labels == [
+            "vgg11-micro-smoke[initial_bits=16]",
+            "vgg11-micro-smoke[initial_bits=8]",
+            "vgg11-micro-smoke[l1=3]",
+            "vgg11-micro-smoke[l1=2]",
+        ]
+        move = proposed[2].config.quant
+        assert move.layer_bits_map == {"l0": 16, "l1": 3, "l2": 16}
+        assert move.layer_frozen == ("l0", "l1", "l2")
+        best = scheduler.best()
+        assert best.config.quant.layer_bits_map["l1"] == 3
+        assert scheduler.best_bit_vector() == {"l0": 16, "l1": 3, "l2": 16}
+        assert scheduler.baseline().config.quant.initial_bits == 16
+        feasibility = scheduler.feasibility()
+        assert len(feasibility) == 4
+        assert sum(bool(v) for v in feasibility.values()) == 3
+
+    def test_accepted_move_updates_the_incumbent(self):
+        # Every move feasible: l1 walks 4 -> 3 -> 2 (min_bits floor),
+        # one accepted trial at a time, then no movable layer remains.
+        scheduler = LayerBitSearchScheduler(layer_search())
+        proposed = drive_layers(scheduler, lambda p: dict(accuracy=0.5))
+        moves = [p.config.quant.layer_bits_map.get("l1")
+                 for p in proposed if p.config.quant.layer_bits]
+        assert moves == [3, 2]
+        assert scheduler.best_bit_vector() == {"l0": 16, "l1": 2, "l2": 16}
+
+    def test_max_trials_caps_both_phases(self):
+        scheduler = LayerBitSearchScheduler(
+            layer_search(max_trials=3, seed_trials=2)
+        )
+        proposed = drive_layers(scheduler, lambda p: dict(accuracy=0.5))
+        assert len(proposed) == 3  # 2 seed trials + 1 move
+
+    def test_crashed_reference_ends_the_search(self):
+        scheduler = LayerBitSearchScheduler(layer_search())
+        (point,) = scheduler.next_points(())
+        result = layer_fake(point, status="failed")
+        assert scheduler.next_points((result,)) is DONE
+        assert scheduler.best() is None
+
+    def test_crashed_move_blocks_the_layer(self):
+        def outcomes(point):
+            vector = point.config.quant.layer_bits_map
+            if vector and vector["l1"] == 3:
+                return dict(status="failed")
+            return dict(accuracy=0.5)
+
+        scheduler = LayerBitSearchScheduler(layer_search())
+        proposed = drive_layers(scheduler, outcomes)
+        # The crashed l1=3 move blocks l1; no other layer is movable.
+        assert [p.label for p in proposed][-1] == "vgg11-micro-smoke[l1=3]"
+        assert scheduler.best_bit_vector() == {"l0": 16, "l1": 4, "l2": 16}
+
+    def test_rejects_wrong_strategy(self):
+        with pytest.raises(ValueError, match="layer-bits"):
+            LayerBitSearchScheduler(ad_search())
+
+    def test_requires_analytical_energy_stage(self):
+        base = micro_base().evolve(energy={"analytical": False, "pim": False})
+        with pytest.raises(ValueError, match="analytical"):
+            LayerBitSearchScheduler(
+                layer_search(base=base, objective="test_accuracy")
+            )
+
+    def test_seed_trials_validation(self):
+        with pytest.raises(ValueError, match="seed_trials"):
+            layer_search(seed_trials=6, max_trials=6)
+        with pytest.raises(ValueError, match="seed_trials"):
+            ad_search(seed_trials=2)
+
+    def test_build_scheduler_and_planned_trials(self):
+        assert isinstance(build_scheduler(layer_search()),
+                          LayerBitSearchScheduler)
+        assert planned_trials(layer_search(max_trials=6)) == (6, False)
+
+
+class TestSeedHalvingGrid:
+    def test_grid_from_ad_survivors(self):
+        # Feasible at 16/8/6, infeasible at 4: the halving grid becomes
+        # exactly the surviving precisions.
+        def outcomes(b):
+            accuracy = 0.5 if b > 4 else 0.1
+            return dict(accuracy=accuracy, total_ad=0.5,
+                        model_pj=b * 100.0)
+
+        scheduler = ADSearchScheduler(ad_search())
+        drive(scheduler, outcomes)
+        result = run_search_result_from(scheduler)
+        halving = SearchConfig(
+            name="seeded", base=micro_base(), strategy="halving",
+            axes=(SweepAxis("quant.initial_bits", (4, 8, 16, 32)),),
+            budgets=(1, 2), keep=0.5,
+        )
+        seeded = seed_halving_grid(halving, result)
+        (axis,) = seeded.axes
+        assert axis.path == "quant.initial_bits"
+        infeasible = {
+            t["bits"] for t in scheduler.trials if not t["feasible"]
+        }
+        assert set(axis.values) == {
+            t["bits"] for t in scheduler.trials if t["feasible"]
+        }
+        assert not infeasible & set(axis.values)
+
+    def test_no_survivors_raises(self):
+        scheduler = ADSearchScheduler(ad_search(max_trials=1))
+        (point,) = scheduler.next_points(())
+        result = fake_result(point, status="failed")
+        assert scheduler.next_points((result,)) is DONE
+        with pytest.raises(ValueError, match="survivors"):
+            seed_halving_grid(
+                SearchConfig(name="h", base=micro_base(),
+                             strategy="halving", budgets=(1, 2)),
+                run_search_result_from(scheduler),
+            )
+
+    def test_rejects_non_halving_target(self):
+        scheduler = ADSearchScheduler(ad_search())
+        drive(scheduler,
+              lambda b: dict(accuracy=0.5, total_ad=0.5, model_pj=b * 100.0))
+        with pytest.raises(ValueError, match="halving"):
+            seed_halving_grid(ad_search(), run_search_result_from(scheduler))
+
+
+def run_search_result_from(scheduler):
+    """A SearchResult assembled from a hand-driven scheduler."""
+    from repro.orchestration.search import SearchResult
+
+    points = [t["result"] for t in scheduler.trials if t["result"]]
+    return SearchResult(
+        search=scheduler.search,
+        sweep=SweepResult(name=scheduler.search.name, points=points),
+        best=scheduler.best(),
+        baseline=scheduler.baseline(),
+        feasibility=scheduler.feasibility(),
+    )
+
+
 class TestSuccessiveHalvingScheduler:
     def halving_search(self, **kwargs):
         defaults = dict(
@@ -327,6 +555,37 @@ class TestRunSearchEndToEnd:
         assert section["strategy"] == "ad-bits"
         assert section["best"]["config"] is not None
         assert section["best"]["metrics"]["model_total_pj"] > 0
+        # The winning assignment rides along as a name -> bits map.
+        best_metrics = section["best"]["metrics"]
+        assert list(section["bit_vector"].values()) \
+            == best_metrics["bit_widths"]
         assert set(section["feasibility"]) == {
             p["key"] for p in payload["points"]
         }
+
+    def test_layer_search_never_worse_than_scalar_winner(self, tmp_path):
+        # Acceptance: with the seed phase mirroring the scalar search,
+        # the layer-bits winner's analytical energy is <= the scalar
+        # AD-search winner's at the same accuracy budget — and the seed
+        # trials replay from the scalar search's cache entries.
+        cache = ResultCache(tmp_path / "cache")
+        scalar = ad_search(accuracy_drop=0.5, max_trials=3)
+        layer = layer_search(accuracy_drop=0.5, max_trials=5,
+                             seed_trials=3, min_bits=2)
+        scalar_result = run_search(scalar, cache=cache)
+        layer_result = run_search(layer, cache=cache)
+        assert scalar_result.ok and layer_result.ok
+        assert layer_result.stats["cached"] >= scalar_result.stats["total"]
+        from repro.orchestration.search import trial_metrics
+
+        scalar_best = trial_metrics(scalar_result.best)
+        layer_best = trial_metrics(layer_result.best)
+        baseline = trial_metrics(layer_result.baseline)
+        assert layer_best["model_total_pj"] <= scalar_best["model_total_pj"]
+        assert layer_best["test_accuracy"] >= baseline["test_accuracy"] - 0.5
+        # The winning vector is publishable and consistent everywhere.
+        vector = bit_vector_of(layer_result.best)
+        assert list(vector.values()) == layer_best["bit_widths"]
+        report = layer_result.report()
+        assert report.best_bit_vector == vector
+        assert "bit vector:" in report.format()

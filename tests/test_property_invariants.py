@@ -7,15 +7,18 @@ mixed operand widths.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.ad_quant import scale_bits
 from repro.energy import LayerProfile
 from repro.energy.analytical import AnalyticalEnergyModel
 from repro.pim import PIMAccelerator, PIMEnergyModel
-from repro.quant import snap_to_hardware_precision
+from repro.quant import QuantizationPlan, snap_to_hardware_precision
 
 BITS = st.integers(min_value=1, max_value=32)
+DENSITY = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
 
 
 class TestSnappingProperties:
@@ -37,6 +40,74 @@ class TestSnappingProperties:
     @settings(max_examples=60, deadline=None)
     def test_snap_monotone(self, bits):
         assert snap_to_hardware_precision(bits + 1) >= snap_to_hardware_precision(bits)
+
+    @given(st.integers(min_value=17, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_snap_saturates_at_the_largest_supported(self, bits):
+        """Table II(c)'s 22-/24-bit widths execute as 16-bit."""
+        assert snap_to_hardware_precision(bits) == 16
+
+    @given(BITS, st.permutations([2, 4, 8, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_snap_unsorted_supported_is_order_independent(self, bits, order):
+        assert snap_to_hardware_precision(bits, tuple(order)) == \
+            snap_to_hardware_precision(bits)
+
+    def test_snap_rejects_empty_supported(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            snap_to_hardware_precision(8, ())
+
+    def test_snap_rejects_nonpositive_precisions(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            snap_to_hardware_precision(8, (0, 4, 8))
+
+
+class TestScaleBitsProperties:
+    @given(BITS, DENSITY, DENSITY)
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_density(self, bits, low, high):
+        low, high = sorted((low, high))
+        assert scale_bits(bits, low) <= scale_bits(bits, high)
+
+    @given(BITS, DENSITY, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_clamps_at_min_bits_and_never_increases(self, bits, density,
+                                                    min_bits):
+        scaled = scale_bits(bits, density, min_bits)
+        assert scaled >= min_bits
+        assert scaled <= max(bits, min_bits)
+
+    @given(BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_density_one_is_a_fixpoint(self, bits):
+        assert scale_bits(bits, 1.0) == bits
+
+    @given(BITS)
+    @settings(max_examples=20, deadline=None)
+    def test_out_of_range_density_rejected(self, bits):
+        with pytest.raises(ValueError):
+            scale_bits(bits, 1.5)
+        with pytest.raises(ValueError):
+            scale_bits(bits, -0.1)
+
+
+LAYER_VECTORS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=99), BITS),
+    min_size=1, max_size=8, unique_by=lambda pair: pair[0],
+)
+
+
+class TestBitVectorRoundTripProperties:
+    @given(LAYER_VECTORS)
+    @settings(max_examples=60, deadline=None)
+    def test_plan_vector_round_trip(self, pairs):
+        vector = {f"layer{i}": bits for i, bits in pairs}
+        plan = QuantizationPlan.from_bit_vector(vector)
+        assert plan.to_bit_vector() == vector
+        assert plan.bit_widths() == list(vector.values())
+        # A second round trip is the identity.
+        again = QuantizationPlan.from_bit_vector(plan.to_bit_vector())
+        assert again.to_bit_vector() == vector
 
 
 def profile_with_bits(bits, input_bits=None):
