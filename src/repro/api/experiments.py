@@ -183,6 +183,32 @@ def get_sweep_points(name: str, shard=None) -> list:
     return shard_points(points, spec)
 
 
+def resolve_any(name: str) -> tuple:
+    """Resolve a preset name across *every* registry.
+
+    Returns ``(kind, preset)`` where ``kind`` is ``"search"``,
+    ``"sweep"``, or ``"run"`` — the ``repro master`` uses this so
+    ``repro submit --preset NAME`` works without the client knowing
+    which kind of preset the name refers to.  Search presets shadow
+    sweep presets shadow single experiments (most-orchestrated wins;
+    registries keep their names distinct in practice).
+    """
+    _ensure_searches()
+    if name in _SEARCHES:
+        return "search", _SEARCHES[name]
+    _ensure_sweeps()
+    if name in _SWEEPS:
+        return "sweep", _SWEEPS[name]
+    if name in _REGISTRY:
+        return "run", _REGISTRY[name]
+    known = sorted(
+        set(search_names()) | set(sweep_names()) | set(names())
+    )
+    raise KeyError(
+        f"unknown preset {name!r}; available: {', '.join(known)}"
+    )
+
+
 # ---------------------------------------------------------------------------
 # Search presets — adaptive AD-guided bit-width searches and successive-
 # halving grids, runnable via `repro search --preset`.  Lazy for the same

@@ -14,6 +14,12 @@ Usage::
     python -m repro cache export --out cache.tgz
     python -m repro cache merge /mnt/hostb/.repro-cache
     python -m repro merge-sweeps s0.json s1.json --out merged.json
+    python -m repro master --jobs 4            # the experiment service
+    python -m repro submit --preset search-smoke-bits --priority 10
+    python -m repro status
+    python -m repro watch 1
+    python -m repro cancel 2
+    python -m repro shutdown
     python -m repro presets [--verbose]
     python -m repro sweeps [--verbose]
     python -m repro searches [--verbose]
@@ -37,13 +43,23 @@ All commands share the content-addressed result cache under
 ``.repro-cache/`` (opt-in for ``run`` via ``--cache``, default for
 ``sweep`` and ``search``; identical configs hit the same entry from any
 command).
+
+``master`` runs the long-lived experiment service: one warm cache, one
+worker pool, and a priority job queue behind a unix socket.  ``submit``
+/ ``status`` / ``watch`` / ``cancel`` / ``shutdown`` are its client
+verbs (see :mod:`repro.service`).  ``sweep`` and ``search`` handle
+SIGINT/SIGTERM gracefully — the first signal finalizes the streaming
+``--out`` file (pending markers included) and exits 130; a second
+aborts hard.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -51,9 +67,57 @@ from pathlib import Path
 from repro.api import ExportStage, PipelineCallback, experiments
 from repro.api.config import ExperimentConfig
 
+# A run interrupted by SIGINT/SIGTERM exits with the conventional
+# 128 + SIGINT code after finalizing its outputs.
+EXIT_INTERRUPTED = 130
+
 
 class CLIError(Exception):
     """A user-input problem (bad preset/config/override), not a bug."""
+
+
+class _InterruptFlag:
+    """Callable signal flag for the runner's graceful-interrupt hook.
+
+    The first SIGINT/SIGTERM only *sets* the flag — the runner notices
+    between tasks, finalizes streaming outputs, and exits 130.  A
+    second signal raises ``KeyboardInterrupt`` for an immediate abort.
+    """
+
+    def __init__(self):
+        self.fired = False
+
+    def __call__(self) -> bool:
+        return self.fired
+
+    def handle(self, signum, frame) -> None:
+        if self.fired:
+            raise KeyboardInterrupt
+        self.fired = True
+        print(
+            f"\nrepro: {signal.Signals(signum).name} received — finishing "
+            "in-flight work and finalizing outputs (repeat to abort hard)",
+            file=sys.stderr,
+        )
+
+
+@contextlib.contextmanager
+def _graceful_interrupt():
+    """Install SIGINT/SIGTERM handlers feeding an :class:`_InterruptFlag`."""
+    flag = _InterruptFlag()
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, flag.handle)
+        except ValueError:
+            # Not the main thread (e.g. runner invoked from tests):
+            # run without graceful handling rather than crash.
+            pass
+    try:
+        yield flag
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 class _ProgressCallback(PipelineCallback):
@@ -413,9 +477,30 @@ class _SweepOutStream:
         atomic_write(self.path, lambda handle: handle.write(data))
 
 
+def _report_interrupted(args, stop, stream, kind: str) -> int:
+    """Summarize a signal-interrupted sweep/search and exit 130.
+
+    The streaming ``--out`` file (when enabled) is already valid JSON:
+    completed points are recorded, the rest carry ``"pending"``
+    markers — exactly the shape a killed shard leaves for
+    ``merge-sweeps`` / a resubmission to pick up from the cache.
+    """
+    if stream is not None:
+        stream.write()
+    if not args.quiet:
+        done = len(stop.result.points)
+        print(
+            f"{kind} interrupted: {done} point(s) completed, "
+            f"{stop.pending} in flight abandoned"
+            + (f"; partial results written to {args.out}" if args.out else ""),
+            file=sys.stderr,
+        )
+    return EXIT_INTERRUPTED
+
+
 def _cmd_sweep(args) -> int:
-    from repro.orchestration import (ResultCache, ShardSpec, SweepRunner,
-                                     shard_points)
+    from repro.orchestration import (ResultCache, ShardSpec, SweepInterrupted,
+                                     SweepRunner, shard_points)
 
     sweep, points = _resolve_sweep(args)
     _prepare_out_path(args.out)
@@ -445,9 +530,15 @@ def _cmd_sweep(args) -> int:
         stream = _SweepOutStream(args.out, sweep.name, points,
                                  expansion_total=expansion_total)
         stream.write()  # all-pending skeleton exists from the first moment
-    runner = SweepRunner(jobs=args.jobs, cache=cache, progress=progress,
-                         on_point=stream.on_point if stream else None)
-    result = runner.run(sweep, points=points)
+    with _graceful_interrupt() as interrupt:
+        runner = SweepRunner(jobs=args.jobs, cache=cache, progress=progress,
+                             on_point=stream.on_point if stream else None,
+                             task_timeout=args.task_timeout,
+                             interrupt=interrupt)
+        try:
+            result = runner.run(sweep, points=points)
+        except SweepInterrupted as stop:
+            return _report_interrupted(args, stop, stream, kind="sweep")
     # No final rewrite needed: the stream already rewrote --out after
     # the last point (the runner raises if any point went unaccounted).
     if not args.quiet:
@@ -568,7 +659,7 @@ class _SearchOutStream(_SweepOutStream):
 
 
 def _cmd_search(args) -> int:
-    from repro.orchestration import ResultCache
+    from repro.orchestration import ResultCache, SweepInterrupted
     from repro.orchestration.search import build_scheduler, run_search
 
     if args.shard:
@@ -599,12 +690,17 @@ def _cmd_search(args) -> int:
     if args.out:
         stream = _SearchOutStream(args.out, search, scheduler)
         stream.write()  # a valid skeleton exists from the first moment
-    result = run_search(
-        search, jobs=args.jobs, cache=cache, progress=progress,
-        on_point=stream.on_point if stream else None,
-        on_schedule=stream.on_schedule if stream else None,
-        scheduler=scheduler,
-    )
+    with _graceful_interrupt() as interrupt:
+        try:
+            result = run_search(
+                search, jobs=args.jobs, cache=cache, progress=progress,
+                on_point=stream.on_point if stream else None,
+                on_schedule=stream.on_schedule if stream else None,
+                scheduler=scheduler,
+                task_timeout=args.task_timeout, interrupt=interrupt,
+            )
+        except SweepInterrupted as stop:
+            return _report_interrupted(args, stop, stream, kind="search")
     if stream is not None:
         # Mid-run writes trail the scheduler by one absorption (it digests
         # a result on its *next* proposal round, after on_point already
@@ -712,6 +808,177 @@ def _cmd_merge_sweeps(args) -> int:
     return 0 if not stats["failed"] else 1
 
 
+# ---------------------------------------------------------------------------
+# Experiment service: the long-lived master and its client verbs
+# ---------------------------------------------------------------------------
+
+def _cmd_master(args) -> int:
+    import asyncio
+
+    from repro.service.master import Master
+
+    if args.jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    log = None
+    if not args.quiet:
+        t0 = time.time()
+
+        def log(message):
+            print(f"[repro master +{time.time() - t0:7.1f}s] {message}",
+                  file=sys.stderr)
+
+    try:
+        master = Master(
+            socket_path=args.socket, jobs=args.jobs,
+            cache_dir=args.cache_dir, state_path=args.state,
+            task_timeout=args.task_timeout, log=log,
+        )
+    except (OSError, ValueError) as error:
+        raise CLIError(_clean_message(error)) from error
+
+    async def serve():
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, master.request_shutdown)
+        await master.serve()
+
+    asyncio.run(serve())
+    return 0
+
+
+def _service_client(args):
+    from repro.service.client import MasterClient, MasterError
+
+    try:
+        return MasterClient(args.socket)
+    except MasterError as error:
+        raise CLIError(_clean_message(error)) from error
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import MasterError
+
+    config = None
+    if args.config:
+        try:
+            config = json.loads(Path(args.config).read_text())
+        except (OSError, ValueError) as error:
+            raise CLIError(
+                f"cannot read config {args.config!r}: "
+                f"{_clean_message(error)}"
+            ) from error
+    with _service_client(args) as client:
+        try:
+            result = client.submit(preset=args.preset, config=config,
+                                   kind=args.kind, priority=args.priority)
+        except MasterError as error:
+            raise CLIError(_clean_message(error)) from error
+    if not args.quiet:
+        print(f"job {result['job']} submitted "
+              f"({result['kind']} {result['name']}, "
+              f"priority {result['priority']})")
+    else:
+        print(result["job"])
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.core.report import format_job_table
+    from repro.service.client import MasterError
+
+    with _service_client(args) as client:
+        try:
+            status = client.status()
+        except MasterError as error:
+            raise CLIError(_clean_message(error)) from error
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    master = status.get("master", {})
+    print(f"master: repro {master.get('version', '?')}, "
+          f"{master.get('jobs', '?')} executor slot(s), "
+          f"{master.get('cache_entries', '?')} cache entries "
+          f"in {master.get('cache_dir', '?')}")
+    jobs = status.get("jobs", [])
+    if jobs:
+        print(format_job_table(jobs))
+    else:
+        print("no jobs submitted")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.service.client import MasterError
+
+    t0 = time.time()
+
+    def narrate(message):
+        if args.quiet:
+            return
+        name = message.get("event")
+        data = message.get("data") or {}
+        prefix = f"[repro watch +{time.time() - t0:7.1f}s]"
+        if name == "schedule":
+            print(f"{prefix} scheduled {len(data.get('points', []))} "
+                  f"point(s) ({data.get('total')} total)", file=sys.stderr)
+        elif name == "point":
+            print(f"{prefix} {data.get('status', '?'):8s} "
+                  f"{data.get('label', '?')} "
+                  f"({data.get('duration') or 0:.1f}s)", file=sys.stderr)
+        elif name == "state":
+            note = " (resumed)" if data.get("resumed") else ""
+            print(f"{prefix} job {message.get('job')} -> "
+                  f"{data.get('state', '?')}{note}", file=sys.stderr)
+
+    with _service_client(args) as client:
+        try:
+            final = client.watch(args.job, on_event=narrate)
+        except MasterError as error:
+            raise CLIError(_clean_message(error)) from error
+    state = final.get("state", "?")
+    stats = (final.get("summary") or {}).get("stats") or {}
+    line = f"job {args.job}: {state}"
+    if stats:
+        line += (f" — {stats.get('total', 0)} point(s), "
+                 f"{stats.get('executed', 0)} run, "
+                 f"{stats.get('cached', 0)} cached, "
+                 f"{stats.get('failed', 0)} failed" + _cache_note(stats))
+    if final.get("error"):
+        line += f" — {final['error']}"
+    print(line)
+    return 0 if state == "done" and not stats.get("failed") else 1
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service.client import MasterError
+
+    with _service_client(args) as client:
+        try:
+            result = client.cancel(args.job)
+        except MasterError as error:
+            raise CLIError(_clean_message(error)) from error
+    if not args.quiet:
+        if result["cancel"] == "requested":
+            print(f"job {args.job}: cancel requested — the master stops "
+                  "it at the next scheduler round")
+        else:
+            print(f"job {args.job}: cancelled")
+    return 0
+
+
+def _cmd_shutdown(args) -> int:
+    from repro.service.client import MasterError
+
+    with _service_client(args) as client:
+        try:
+            client.shutdown()
+        except MasterError as error:
+            raise CLIError(_clean_message(error)) from error
+    if not args.quiet:
+        print("master stopping")
+    return 0
+
+
 def _cmd_presets(args) -> int:
     for name in experiments.names():
         config = experiments.get_config(name)
@@ -758,9 +1025,15 @@ def _cmd_show(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.service.protocol import PROTOCOL_VERSION, repro_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Activation-density mixed-precision quantization experiments",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {repro_version()} (protocol {PROTOCOL_VERSION})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -817,6 +1090,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=".repro-cache",
                        help="cache location (default: .repro-cache)")
     sweep.add_argument("--out", help="aggregated sweep JSON output path")
+    sweep.add_argument("--task-timeout", type=float, dest="task_timeout",
+                       help="seconds before a hung point is failed and its "
+                            "worker pool recycled (default: no timeout)")
     sweep.add_argument("--quiet", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -855,6 +1131,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--cache-dir", default=".repro-cache",
                         help="cache location (default: .repro-cache)")
     search.add_argument("--out", help="streaming search JSON output path")
+    search.add_argument("--task-timeout", type=float, dest="task_timeout",
+                        help="seconds before a hung trial is failed and its "
+                             "worker pool recycled (default: no timeout)")
     search.add_argument("--quiet", action="store_true")
     search.set_defaults(func=_cmd_search)
 
@@ -894,6 +1173,74 @@ def build_parser() -> argparse.ArgumentParser:
                                    "shared name; required if they differ)")
     merge_sweeps.add_argument("--quiet", action="store_true")
     merge_sweeps.set_defaults(func=_cmd_merge_sweeps)
+
+    from repro.service.master import DEFAULT_SOCKET, DEFAULT_STATE
+
+    master = sub.add_parser(
+        "master",
+        help="run the long-lived experiment service (shared cache + pool)",
+    )
+    master.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help=f"unix socket path (default: {DEFAULT_SOCKET})")
+    master.add_argument("--jobs", type=int, default=1,
+                        help="executor worker slots shared by every job "
+                             "(default 1 = serial)")
+    master.add_argument("--cache-dir", default=".repro-cache",
+                        help="the shared result cache (default: .repro-cache)")
+    master.add_argument("--state", default=DEFAULT_STATE,
+                        help="queue persistence file; a restarted master "
+                             f"re-offers its unfinished jobs (default: "
+                             f"{DEFAULT_STATE})")
+    master.add_argument("--task-timeout", type=float, dest="task_timeout",
+                        help="seconds before a hung point is failed and the "
+                             "pool recycled (default: no timeout)")
+    master.add_argument("--quiet", action="store_true")
+    master.set_defaults(func=_cmd_master)
+
+    submit = sub.add_parser(
+        "submit", help="queue a run/sweep/search on the master"
+    )
+    submit_source = submit.add_mutually_exclusive_group(required=True)
+    submit_source.add_argument(
+        "--preset",
+        help="any preset name — search, sweep, or experiment registries "
+             "are tried in that order, server-side",
+    )
+    submit_source.add_argument(
+        "--config", help="path to a run/sweep/search config JSON file"
+    )
+    submit.add_argument("--kind", choices=("run", "sweep", "search"),
+                        help="what a --config file describes "
+                             "(default: detected from its keys)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher preempts lower between scheduler "
+                             "rounds (default 0)")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="show the master's job queue")
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable full status payload")
+    status.set_defaults(func=_cmd_status)
+
+    watch = sub.add_parser(
+        "watch", help="follow a job's streamed events to completion"
+    )
+    watch.add_argument("job", type=int, help="job id from `repro submit`")
+    watch.set_defaults(func=_cmd_watch)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job", type=int, help="job id from `repro submit`")
+    cancel.set_defaults(func=_cmd_cancel)
+
+    shutdown = sub.add_parser("shutdown", help="stop the master cleanly")
+    shutdown.set_defaults(func=_cmd_shutdown)
+
+    for client_cmd in (submit, status, watch, cancel, shutdown):
+        client_cmd.add_argument(
+            "--socket", default=DEFAULT_SOCKET,
+            help=f"the master's unix socket (default: {DEFAULT_SOCKET})",
+        )
+        client_cmd.add_argument("--quiet", action="store_true")
 
     presets = sub.add_parser("presets", help="list registered presets")
     presets.add_argument("--verbose", action="store_true",

@@ -256,3 +256,33 @@ class SweepReport:
             lines += [f"  {e.label}: {e.error}" for e in self.failed]
             out = "\n".join(lines)
         return out
+
+
+def format_job_table(jobs: list[dict]) -> str:
+    """The ``repro status`` view of the master's queue.
+
+    ``jobs`` is a list of ``Job.describe()`` payloads (as returned by
+    the service's ``status`` method); the ``Points`` column compresses
+    each finished job's summary stats into one cell.
+    """
+    headers = ["Job", "State", "Pri", "Kind", "Name", "Points"]
+    rows = []
+    for job in jobs:
+        stats = (job.get("summary") or {}).get("stats") or {}
+        if stats:
+            detail = (f"{stats.get('total', 0)} "
+                      f"({stats.get('executed', 0)} run, "
+                      f"{stats.get('cached', 0)} cached, "
+                      f"{stats.get('failed', 0)} failed)")
+        elif job.get("error"):
+            detail = job["error"]
+        else:
+            detail = "-"
+        state = job.get("state", "?")
+        if job.get("cancel_requested") and state == "running":
+            state = "running*"  # cancel pending at the next round
+        rows.append([
+            str(job.get("id", "?")), state, str(job.get("priority", 0)),
+            job.get("kind", "?"), job.get("name", "?"), detail,
+        ])
+    return format_table(headers, rows, title="Experiment queue")

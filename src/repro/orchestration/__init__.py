@@ -57,10 +57,14 @@ from repro.orchestration.checkpoint import (
 from repro.orchestration.executor import (
     ProcessExecutor,
     SerialExecutor,
+    TaskInterrupted,
     crash_outcome,
+    timeout_outcome,
 )
 from repro.orchestration.runner import (
     PointResult,
+    SchedulerDrive,
+    SweepInterrupted,
     SweepResult,
     SweepRunner,
     execute_point,
@@ -113,6 +117,7 @@ __all__ = [
     "ProcessExecutor",
     "ResultCache",
     "Scheduler",
+    "SchedulerDrive",
     "SearchConfig",
     "SearchResult",
     "SerialExecutor",
@@ -121,9 +126,11 @@ __all__ = [
     "SuccessiveHalvingScheduler",
     "SweepAxis",
     "SweepConfig",
+    "SweepInterrupted",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
+    "TaskInterrupted",
     "axis_labels",
     "bit_vector_of",
     "build_scheduler",
@@ -141,5 +148,6 @@ __all__ = [
     "shard_assignment",
     "shard_points",
     "sweep_out_payload",
+    "timeout_outcome",
     "write_checkpoint",
 ]

@@ -26,11 +26,56 @@ naming the task index — the driver sees a failed point, never a missing
 one.  After a pool breakage the broken pool is discarded, so subsequent
 submissions (an adaptive scheduler proposing more points) transparently
 get a fresh pool.
+
+Two optional liveness knobs (both default off) keep long-lived drivers —
+the ``repro master`` service above all — responsive:
+
+* ``task_timeout`` (:class:`ProcessExecutor` only): dead-worker
+  detection catches a worker that *crashes*, but a worker that *hangs*
+  (a deadlocked BLAS call, an NFS stall) would block
+  :meth:`next_result` forever.  With a timeout set, a task observed
+  running longer than ``task_timeout`` seconds is converted into a
+  structured ``{"status": "timeout"}`` outcome (the driver records it
+  as a failed point) and the pool is recycled — tasks in flight with
+  the hung worker resolve as structured failures, later submissions get
+  a fresh pool.
+* ``interrupt``: a zero-argument callable polled while waiting; when it
+  returns true, :meth:`next_result` raises :class:`TaskInterrupted`
+  instead of blocking on, so a signal handler's flag (graceful Ctrl-C)
+  unblocks the driver within a poll interval instead of after the
+  current task.
 """
 
 from __future__ import annotations
 
+import time
 import traceback
+
+# How often next_result wakes to poll an ``interrupt`` flag (seconds).
+INTERRUPT_POLL_SECONDS = 0.2
+
+
+class TaskInterrupted(Exception):
+    """Raised by ``next_result`` when the executor's ``interrupt`` fires."""
+
+
+def timeout_outcome(task: dict, seconds: float, elapsed: float) -> dict:
+    """A structured ``timeout`` outcome for a task that overran its budget.
+
+    Shaped like :func:`crash_outcome` but with status ``"timeout"`` so
+    drivers can tell a hung worker from a crashed one; the sweep driver
+    records it as a failed point with this error text.
+    """
+    return {
+        "index": task.get("index"),
+        "status": "timeout",
+        "error": (
+            f"task exceeded task_timeout={seconds:g}s "
+            f"(ran {elapsed:.1f}s); worker pool recycled"
+        ),
+        "traceback": None,
+        "duration": elapsed,
+    }
 
 
 def crash_outcome(task: dict, error: BaseException) -> dict:
@@ -59,8 +104,9 @@ class SerialExecutor:
     first miss trains.
     """
 
-    def __init__(self, execute):
+    def __init__(self, execute, interrupt=None):
         self.execute = execute
+        self.interrupt = interrupt
         self._queue: list[dict] = []
 
     @property
@@ -73,6 +119,10 @@ class SerialExecutor:
     def next_result(self) -> dict:
         if not self._queue:
             raise RuntimeError("no tasks pending in the serial executor")
+        if self.interrupt is not None and self.interrupt():
+            # In-process execution cannot be interrupted mid-task, but
+            # the queue boundary honours the flag before starting more.
+            raise TaskInterrupted
         task = self._queue.pop(0)
         try:
             return self.execute(task)
@@ -96,17 +146,24 @@ class ProcessExecutor:
     ``execute`` must be picklable (a module-level function).
     """
 
-    def __init__(self, jobs: int, execute):
+    def __init__(self, jobs: int, execute, task_timeout: float | None = None,
+                 interrupt=None):
         if jobs < 2:
             raise ValueError("ProcessExecutor needs jobs >= 2; use SerialExecutor")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
         self.jobs = jobs
         self.execute = execute
+        self.task_timeout = task_timeout
+        self.interrupt = interrupt
         self._pool = None
+        self._backlog: list[dict] = []  # submitted, not yet in the pool
         self._futures: dict = {}  # future -> task
+        self._running_since: dict = {}  # future -> first observed running
 
     @property
     def pending(self) -> int:
-        return len(self._futures)
+        return len(self._futures) + len(self._backlog)
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -115,30 +172,115 @@ class ProcessExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
-    def _discard_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+    def _discard_pool(self, kill: bool = False) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        if kill:
+            # A hung worker never exits on its own; without an explicit
+            # kill it would linger (and block interpreter shutdown,
+            # which joins pool workers) for the driver's lifetime.
+            for process in list((getattr(pool, "_processes", None)
+                                 or {}).values()):
+                process.kill()
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def submit(self, task: dict) -> None:
-        try:
-            future = self._ensure_pool().submit(self.execute, task)
-        except Exception:
-            # The pool broke between our liveness check and the submit
-            # (a worker died while idle); retry once on a fresh pool.
-            self._discard_pool()
-            future = self._ensure_pool().submit(self.execute, task)
-        self._futures[future] = task
+        self._backlog.append(task)
+        self._fill()
+
+    def _fill(self) -> None:
+        """Feed backlog into the pool, at most ``jobs`` futures deep.
+
+        ``ProcessPoolExecutor`` marks a future *running* once it enters
+        the worker call queue — which prefetches beyond the workers — so
+        an unthrottled submit would start a queued task's timeout clock
+        while it still waits for a slot.  Capping in-pool futures at the
+        worker count makes "observed running" mean "actually running";
+        it also keeps backlog tasks off a pool that later breaks.
+        """
+        while self._backlog and len(self._futures) < self.jobs:
+            task = self._backlog[0]
+            try:
+                future = self._ensure_pool().submit(self.execute, task)
+            except Exception:
+                # The pool broke between our liveness check and the
+                # submit (a worker died while idle); retry on a fresh
+                # pool.
+                self._discard_pool()
+                future = self._ensure_pool().submit(self.execute, task)
+            self._backlog.pop(0)
+            self._futures[future] = task
+
+    def _overdue(self, now: float):
+        """``(future, elapsed)`` of the longest-overdue running task, or None.
+
+        The clock starts when a task is first *observed* running (not
+        when it was submitted), so tasks queued behind a full pool never
+        accrue waiting time against their budget.
+        """
+        if self.task_timeout is None:
+            return None
+        for future in self._futures:
+            if future not in self._running_since and future.running():
+                self._running_since[future] = now
+        worst = None
+        for future, started in self._running_since.items():
+            if future not in self._futures:
+                continue
+            elapsed = now - started
+            if elapsed >= self.task_timeout and (
+                    worst is None or elapsed > worst[1]):
+                worst = (future, elapsed)
+        return worst
+
+    def _wait_timeout(self, now: float) -> float | None:
+        """How long the next ``wait`` may block before a poll is due."""
+        slices = []
+        if self.interrupt is not None:
+            slices.append(INTERRUPT_POLL_SECONDS)
+        if self.task_timeout is not None:
+            deadlines = [
+                max(0.0, started + self.task_timeout - now)
+                for future, started in self._running_since.items()
+                if future in self._futures
+            ]
+            if deadlines:
+                slices.append(min(deadlines))
+            # Tasks not yet observed running need their clocks started;
+            # poll at the interrupt cadence until every clock is live.
+            slices.append(INTERRUPT_POLL_SECONDS)
+        return min(slices) if slices else None
 
     def next_result(self) -> dict:
         from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
                                         CancelledError, wait)
 
-        if not self._futures:
+        if not self._futures and not self._backlog:
             raise RuntimeError("no tasks pending in the process executor")
-        done, _ = wait(tuple(self._futures), return_when=FIRST_COMPLETED)
+        while True:
+            if self.interrupt is not None and self.interrupt():
+                raise TaskInterrupted
+            self._fill()
+            now = time.monotonic()
+            overdue = self._overdue(now)
+            if overdue is not None:
+                future, elapsed = overdue
+                task = self._futures.pop(future)
+                self._running_since.pop(future, None)
+                # The hung worker cannot be joined; kill the whole pool
+                # so later submissions start fresh.  Other tasks in
+                # flight resolve as structured failures on later calls.
+                self._discard_pool(kill=True)
+                return timeout_outcome(task, self.task_timeout, elapsed)
+            done, _ = wait(tuple(self._futures),
+                           timeout=self._wait_timeout(now),
+                           return_when=FIRST_COMPLETED)
+            if done:
+                break
         future = next(iter(done))
         task = self._futures.pop(future)
+        self._running_since.pop(future, None)
         try:
             return future.result()
         except (BrokenExecutor, CancelledError) as error:
@@ -155,8 +297,11 @@ class ProcessExecutor:
         return self
 
     def __exit__(self, *exc_info):
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        # Leaving with tasks still in flight (an interrupted sweep, a
+        # timed-out straggler) means nobody will ever collect them:
+        # kill their workers rather than leave orphans behind.
+        self._discard_pool(kill=bool(self._futures))
+        self._backlog.clear()
         self._futures.clear()
+        self._running_since.clear()
         return False

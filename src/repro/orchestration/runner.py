@@ -44,7 +44,11 @@ from dataclasses import dataclass, field
 
 from repro.api.config import ExperimentConfig
 from repro.core.report import SweepEntry, SweepReport
-from repro.orchestration.executor import ProcessExecutor, SerialExecutor
+from repro.orchestration.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    TaskInterrupted,
+)
 from repro.orchestration.scheduler import Done, Scheduler, StaticScheduler
 from repro.orchestration.sweep import SweepConfig, SweepPoint, expand
 
@@ -410,6 +414,217 @@ class SweepResult:
         }
 
 
+class SweepInterrupted(RuntimeError):
+    """A sweep stopped early on request (SIGINT/SIGTERM, service pause).
+
+    Carries the partial :class:`SweepResult` of every point that
+    finished before the stop plus the number of points still pending,
+    so callers (the CLI's streaming ``--out`` writer, the service
+    master) can finalize their output instead of losing the run.
+    """
+
+    def __init__(self, result: "SweepResult", pending: int):
+        self.result = result
+        self.pending = pending
+        super().__init__(
+            f"sweep {result.name!r} interrupted: "
+            f"{len(result.points)} point(s) completed, {pending} pending"
+        )
+
+
+class SchedulerDrive:
+    """The scheduler-round state machine of a sweep, minus the waiting.
+
+    One drive owns everything :meth:`SweepRunner.run_scheduler` used to
+    track inline — the growing point list, cache-key groups, in-flight
+    task routing, cache lookups/stores, and streaming callbacks — but
+    never blocks: :meth:`round` consults the scheduler and returns the
+    executor task payloads to submit, and :meth:`deliver` routes one
+    executor outcome back in.  This split lets the synchronous runner
+    loop and the asyncio ``repro master`` (which multiplexes many
+    drives over one shared executor) share identical semantics.
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str | None = None,
+                 cache=None, log=None, on_point=None, on_schedule=None):
+        self.scheduler = scheduler
+        self.name = (
+            name or getattr(scheduler, "name", None) or "sweep"
+        )
+        self.cache = cache
+        self._log = log or (lambda message: None)
+        self.on_point = on_point
+        self.on_schedule = on_schedule
+        self.done = False
+        self.points: list[SweepPoint] = []
+        self.results: list[PointResult | None] = []
+        self._completed: list[PointResult] = []
+        self._groups: dict[str, list[int]] = {}  # cache key -> positions
+        self._outcomes: dict[str, dict] = {}     # cache key -> outcome
+        self._by_task: dict[int, str] = {}       # leader position -> key
+        self.cache_stats = (
+            {"hits": 0, "misses": 0} if cache is not None else None
+        )
+
+    @property
+    def in_flight(self) -> int:
+        """Tasks submitted (or returned by :meth:`round`) and unresolved."""
+        return len(self._by_task)
+
+    # ------------------------------------------------------------------
+    def round(self) -> list[dict]:
+        """Consult the scheduler until it waits or finishes.
+
+        Returns the executor task payloads for every newly-proposed
+        point that missed the cache; the caller must submit each one and
+        eventually :meth:`deliver` its outcome.  Cache hits and
+        re-proposals complete inside the call (their results stream via
+        ``on_point`` and feed the scheduler's next consultation, so a
+        batch completed wholly from cache immediately yields the next).
+        Raises when the scheduler waits while nothing is in flight — a
+        deadlock no event could ever unblock.
+        """
+        tasks: list[dict] = []
+        while not self.done:
+            batch = self.scheduler.next_points(tuple(self._completed))
+            if isinstance(batch, Done):
+                self.done = True
+                break
+            if not batch:
+                if not self._by_task and not tasks:
+                    raise RuntimeError(
+                        f"scheduler {type(self.scheduler).__name__} "
+                        "proposed no new points while none are in flight "
+                        "— the sweep would wait forever"
+                    )
+                break
+            tasks.extend(self._schedule(list(batch)))
+        return tasks
+
+    def _schedule(self, batch: list[SweepPoint]) -> list[dict]:
+        start = len(self.points)
+        for point in batch:
+            if not isinstance(point, SweepPoint):
+                raise TypeError(f"not a SweepPoint: {point!r}")
+            self.points.append(point)
+            self.results.append(None)
+        if self.on_schedule is not None:
+            self.on_schedule(list(batch), len(self.points))
+        new_keys: list[str] = []
+        for position in range(start, len(self.points)):
+            key = self.points[position].config.cache_key()
+            positions = self._groups.setdefault(key, [])
+            positions.append(position)
+            if len(positions) == 1:
+                new_keys.append(key)
+            elif key in self._outcomes:
+                # Re-proposal of an already-finished config: hand the
+                # recorded result back without running anything.
+                self._finish(position, self._outcomes[key])
+            # else: the config is in flight (or awaits its cache check
+            # below); the group fan-out will cover this point.
+        tasks: list[dict] = []
+        for key in new_keys:
+            leader = self._groups[key][0]
+            payload = (
+                self.cache.load(self.points[leader].config)
+                if self.cache is not None else None
+            )
+            if payload is not None:
+                self.cache_stats["hits"] += 1
+                self._finish_group(
+                    key, {"status": "cached", "payload": payload}
+                )
+                continue
+            if self.cache_stats is not None:
+                self.cache_stats["misses"] += 1
+            self._by_task[leader] = key
+            tasks.append({
+                "index": leader,
+                "config": self.points[leader].config.to_dict(),
+            })
+        return tasks
+
+    # ------------------------------------------------------------------
+    def deliver(self, outcome) -> None:
+        """Route one executor outcome to its point group (and the cache)."""
+        if not isinstance(outcome, dict):
+            raise RuntimeError(
+                "sweep executor returned a non-outcome "
+                f"{outcome!r} instead of a result dict"
+            )
+        key = self._by_task.pop(outcome.get("index"), None)
+        if key is None:
+            raise RuntimeError(
+                "sweep executor returned a result for an unknown "
+                f"or already-completed task index "
+                f"{outcome.get('index')!r}"
+            )
+        if outcome["status"] == "ok" and self.cache is not None:
+            self.cache.store(
+                self.points[self._groups[key][0]].config,
+                outcome["payload"],
+            )
+        self._finish_group(key, outcome)
+
+    def _finish_group(self, key: str, outcome: dict) -> None:
+        self._outcomes[key] = outcome
+        for position in self._groups[key]:
+            self._finish(position, outcome)
+
+    def _finish(self, position: int, outcome: dict) -> None:
+        point = self.points[position]
+        status = outcome["status"]
+        if status == "timeout":
+            # A hung-worker timeout is recorded as a failed point; the
+            # distinct executor status keeps the error text specific.
+            status = "failed"
+        result = PointResult(
+            label=point.label,
+            key=point.config.cache_key(),
+            status=status,
+            payload=outcome.get("payload"),
+            error=outcome.get("error"),
+            traceback=outcome.get("traceback"),
+            duration=outcome.get("duration", 0.0),
+            config=point.config,
+            index=point.index,
+        )
+        self.results[position] = result
+        self._completed.append(result)
+        if result.status == "cached":
+            self._log(f"cached   {result.label}")
+        else:
+            self._log(f"{result.status:8s} {result.label} "
+                      f"({result.duration:.1f}s)")
+        if self.on_point is not None:
+            self.on_point(result, position, len(self.points))
+
+    # ------------------------------------------------------------------
+    def partial_result(self) -> "SweepResult":
+        """Completed points only (for :class:`SweepInterrupted`)."""
+        return SweepResult(
+            name=self.name,
+            points=[r for r in self.results if r is not None],
+            cache_stats=self.cache_stats,
+        )
+
+    def result(self) -> "SweepResult":
+        """The finished :class:`SweepResult`; raises on lost points."""
+        lost = [
+            point.label
+            for point, result in zip(self.points, self.results)
+            if result is None
+        ]
+        if lost:
+            raise RuntimeError(
+                f"sweep executor lost {len(lost)} point(s): "
+                + ", ".join(lost)
+            )
+        return SweepResult(name=self.name, points=list(self.results),
+                           cache_stats=self.cache_stats)
+
+
 class SweepRunner:
     """Drives a scheduler's proposals through an executor backend.
 
@@ -434,10 +649,21 @@ class SweepRunner:
         Optional ``callable(new_points, total)`` fired whenever the
         scheduler appends a batch; streaming writers use it to emit
         pending placeholders before any of the batch finishes.
+    task_timeout:
+        Optional per-task wall-clock budget in seconds (``jobs > 1``
+        only): a worker hung past it becomes a structured failed point
+        and the pool is recycled (see
+        :class:`~repro.orchestration.executor.ProcessExecutor`).
+    interrupt:
+        Optional zero-argument callable polled between (and, for
+        process pools, during) waits; once it returns true the run
+        stops cleanly, shutting the executor down and raising
+        :class:`SweepInterrupted` with the completed points.
     """
 
     def __init__(self, jobs: int = 1, cache=None, progress=None,
-                 execute=execute_point, on_point=None, on_schedule=None):
+                 execute=execute_point, on_point=None, on_schedule=None,
+                 task_timeout: float | None = None, interrupt=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
@@ -446,6 +672,8 @@ class SweepRunner:
         self.execute = execute
         self.on_point = on_point
         self.on_schedule = on_schedule
+        self.task_timeout = task_timeout
+        self.interrupt = interrupt
 
     def _log(self, message: str) -> None:
         if self.progress is not None:
@@ -453,8 +681,10 @@ class SweepRunner:
 
     def _make_executor(self):
         if self.jobs == 1:
-            return SerialExecutor(self.execute)
-        return ProcessExecutor(self.jobs, self.execute)
+            return SerialExecutor(self.execute, interrupt=self.interrupt)
+        return ProcessExecutor(self.jobs, self.execute,
+                               task_timeout=self.task_timeout,
+                               interrupt=self.interrupt)
 
     # ------------------------------------------------------------------
     def run(self, sweep, points=None) -> SweepResult:
@@ -491,144 +721,41 @@ class SweepRunner:
         :data:`~repro.orchestration.scheduler.DONE` and nothing is in
         flight.  A scheduler that proposes nothing while nothing is in
         flight (a deadlock — no event could ever unblock it) raises.
+
+        All bookkeeping lives in a :class:`SchedulerDrive`; this method
+        adds only the blocking executor loop around it (the asyncio
+        service master drives the same class without blocking).
         """
-        if name is None:
-            name = getattr(scheduler, "name", None) or "sweep"
-
-        points: list[SweepPoint] = []
-        results: list[PointResult | None] = []
-        completed: list[PointResult] = []
-        groups: dict[str, list[int]] = {}  # cache key -> positions
-        outcomes: dict[str, dict] = {}     # cache key -> finished outcome
-        by_task: dict[int, str] = {}       # in-flight leader position -> key
-        cache_stats = (
-            {"hits": 0, "misses": 0} if self.cache is not None else None
+        drive = SchedulerDrive(
+            scheduler, name=name, cache=self.cache, log=self._log,
+            on_point=self.on_point, on_schedule=self.on_schedule,
         )
-
-        def finish(position: int, outcome: dict) -> None:
-            point = points[position]
-            result = PointResult(
-                label=point.label,
-                key=point.config.cache_key(),
-                status=outcome["status"],
-                payload=outcome.get("payload"),
-                error=outcome.get("error"),
-                traceback=outcome.get("traceback"),
-                duration=outcome.get("duration", 0.0),
-                config=point.config,
-                index=point.index,
-            )
-            results[position] = result
-            completed.append(result)
-            if result.status == "cached":
-                self._log(f"cached   {result.label}")
-            else:
-                self._log(f"{result.status:8s} {result.label} "
-                          f"({result.duration:.1f}s)")
-            if self.on_point is not None:
-                self.on_point(result, position, len(points))
-
-        def finish_group(key: str, outcome: dict) -> None:
-            outcomes[key] = outcome
-            for position in groups[key]:
-                finish(position, outcome)
-
-        def schedule(batch: list[SweepPoint], executor) -> None:
-            start = len(points)
-            for point in batch:
-                if not isinstance(point, SweepPoint):
-                    raise TypeError(f"not a SweepPoint: {point!r}")
-                points.append(point)
-                results.append(None)
-            if self.on_schedule is not None:
-                self.on_schedule(list(batch), len(points))
-            new_keys: list[str] = []
-            for position in range(start, len(points)):
-                key = points[position].config.cache_key()
-                positions = groups.setdefault(key, [])
-                positions.append(position)
-                if len(positions) == 1:
-                    new_keys.append(key)
-                elif key in outcomes:
-                    # Re-proposal of an already-finished config: hand the
-                    # recorded result back without running anything.
-                    finish(position, outcomes[key])
-                # else: the config is in flight (or awaits its cache
-                # check below); the group fan-out will cover this point.
-            for key in new_keys:
-                leader = groups[key][0]
-                payload = (
-                    self.cache.load(points[leader].config)
-                    if self.cache is not None else None
-                )
-                if payload is not None:
-                    cache_stats["hits"] += 1
-                    finish_group(key, {"status": "cached", "payload": payload})
-                    continue
-                if cache_stats is not None:
-                    cache_stats["misses"] += 1
-                by_task[leader] = key
-                executor.submit({
-                    "index": leader,
-                    "config": points[leader].config.to_dict(),
-                })
-
-        done = False
         with self._make_executor() as executor:
             while True:
-                if not done:
-                    batch = scheduler.next_points(tuple(completed))
-                    if isinstance(batch, Done):
-                        done = True
-                    elif batch:
-                        schedule(list(batch), executor)
-                        # Cache hits may have completed the whole batch;
-                        # give the scheduler the new results right away.
-                        continue
-                if done and not by_task:
+                if self.interrupt is not None and self.interrupt():
+                    raise SweepInterrupted(drive.partial_result(),
+                                           pending=drive.in_flight)
+                for task in drive.round():
+                    executor.submit(task)
+                if drive.done and not drive.in_flight:
                     break
-                if not by_task:
-                    raise RuntimeError(
-                        f"scheduler {type(scheduler).__name__} proposed no "
-                        "new points while none are in flight — the sweep "
-                        "would wait forever"
-                    )
                 if getattr(executor, "pending", None) == 0:
                     # The executor swallowed submissions: tasks are
                     # unaccounted for and no event can ever deliver them.
-                    lost = [points[position].label for position in by_task]
+                    lost = [
+                        drive.points[position].label
+                        for position in range(len(drive.points))
+                        if drive.results[position] is None
+                    ]
                     raise RuntimeError(
                         f"sweep executor lost {len(lost)} point(s): "
                         + ", ".join(lost)
                     )
-                outcome = executor.next_result()
-                if not isinstance(outcome, dict):
-                    raise RuntimeError(
-                        "sweep executor returned a non-outcome "
-                        f"{outcome!r} instead of a result dict"
-                    )
-                key = by_task.pop(outcome.get("index"), None)
-                if key is None:
-                    raise RuntimeError(
-                        "sweep executor returned a result for an unknown "
-                        f"or already-completed task index "
-                        f"{outcome.get('index')!r}"
-                    )
-                if outcome["status"] == "ok" and self.cache is not None:
-                    self.cache.store(
-                        points[groups[key][0]].config, outcome["payload"]
-                    )
-                finish_group(key, outcome)
-
-        lost = [
-            point.label
-            for point, result in zip(points, results)
-            if result is None
-        ]
-        if lost:
-            raise RuntimeError(
-                f"sweep executor lost {len(lost)} point(s): "
-                + ", ".join(lost)
-            )
-        return SweepResult(name=name, points=list(results),
-                           cache_stats=cache_stats)
+                try:
+                    outcome = executor.next_result()
+                except TaskInterrupted:
+                    raise SweepInterrupted(
+                        drive.partial_result(), pending=drive.in_flight
+                    ) from None
+                drive.deliver(outcome)
+        return drive.result()

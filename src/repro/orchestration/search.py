@@ -994,20 +994,24 @@ class SearchResult:
 
 def run_search(search: SearchConfig, jobs: int = 1, cache=None,
                progress=None, execute=execute_point, on_point=None,
-               on_schedule=None, scheduler: Scheduler | None = None
+               on_schedule=None, scheduler: Scheduler | None = None,
+               task_timeout: float | None = None, interrupt=None
                ) -> SearchResult:
     """Drive a :class:`SearchConfig` to completion through the runner.
 
     ``scheduler`` optionally supplies a pre-built scheduler (so callers
     that need a live handle on it — e.g. the CLI's streaming writer
     asking for the current best — observe the same instance the driver
-    feeds).
+    feeds).  ``task_timeout`` and ``interrupt`` pass through to the
+    runner (hung-trial recovery and graceful Ctrl-C; see
+    :class:`SweepRunner`).
     """
     if scheduler is None:
         scheduler = build_scheduler(search)
     runner = SweepRunner(jobs=jobs, cache=cache, progress=progress,
                          execute=execute, on_point=on_point,
-                         on_schedule=on_schedule)
+                         on_schedule=on_schedule,
+                         task_timeout=task_timeout, interrupt=interrupt)
     sweep = runner.run_scheduler(scheduler, name=search.name)
     return SearchResult(
         search=search,

@@ -1,0 +1,53 @@
+"""Experiment service: the long-lived ``repro master`` daemon.
+
+Every sweep or search used to be one foreground CLI process — the cache
+warmed up, the worker pool spun up, the process exited, and everything
+was torn down with the client's terminal.  This package turns the
+scheduler/executor split into an always-on service:
+
+* :mod:`repro.service.protocol` — versioned newline-delimited JSON
+  request/response/event framing with request ids and typed errors.
+  Depends on nothing else in the service, so it is unit-testable in
+  isolation.
+* :mod:`repro.service.queue` — the priority job queue: monotonic job
+  ids, ``queued/running/paused/done/failed/cancelled`` states,
+  artiq-style pause/resume between scheduler rounds, cancel/delete,
+  and atomic JSON persistence so a restarted master re-offers
+  unfinished jobs.
+* :mod:`repro.service.master` — the asyncio server.  It owns one
+  executor pool, one ``.repro-cache/`` :class:`ResultCache`, and the
+  queue; jobs are
+  :class:`~repro.orchestration.runner.SchedulerDrive` loops fed from
+  the shared executor, per-point events stream to subscribed clients,
+  and a higher-priority submission preempts a bulk sweep between
+  ``next_points`` rounds.
+* :mod:`repro.service.client` — the synchronous
+  :class:`MasterClient` behind ``repro submit`` / ``repro status`` /
+  ``repro watch`` / ``repro cancel`` / ``repro shutdown``.
+
+Because every job shares the master's warm cache, a resubmitted search
+replays entirely as cache hits, and killing a watching client never
+kills the job it was watching.
+"""
+
+from repro.service.client import MasterClient, MasterError
+from repro.service.master import Master
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    repro_version,
+)
+from repro.service.queue import Job, JobQueue
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "MAX_LINE_BYTES",
+    "Master",
+    "MasterClient",
+    "MasterError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "repro_version",
+]

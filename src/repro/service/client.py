@@ -1,0 +1,194 @@
+"""Synchronous client for the ``repro master`` service.
+
+:class:`MasterClient` speaks the :mod:`repro.service.protocol` framing
+over a unix-domain socket: it verifies the master's ``hello`` greeting
+(the protocol/version handshake), correlates responses to requests by
+id even when server events interleave between them, and surfaces typed
+server errors as :class:`MasterError` with the error code attached.
+
+The client is deliberately synchronous — ``repro submit`` / ``status``
+/ ``watch`` / ``cancel`` are short-lived terminal commands, and a
+blocking socket plus a readline loop is all they need.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+from repro.service import protocol
+
+
+class MasterError(Exception):
+    """A typed error returned by (or about) the master.
+
+    ``code`` is one of :data:`repro.service.protocol.ERROR_CODES`, or
+    ``"connection"`` for transport-level failures.
+    """
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(message)
+
+
+class MasterClient:
+    """One connection to a running master.
+
+    Usable as a context manager::
+
+        with MasterClient(".repro-master.sock") as client:
+            job = client.submit(preset="search-smoke-bits")["job"]
+            client.watch(job, on_event=print)
+
+    ``timeout`` bounds each blocking read; ``None`` (the default) waits
+    indefinitely, which is what ``watch`` wants while a long trial
+    trains.
+    """
+
+    def __init__(self, socket_path, timeout: float | None = None):
+        self.socket_path = Path(socket_path)
+        self._next_id = 1
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(str(self.socket_path))
+        except OSError as error:
+            self._sock.close()
+            raise MasterError(
+                "connection",
+                f"cannot reach a master at {self.socket_path}: {error} "
+                "(start one with `repro master`)",
+            ) from None
+        self._file = self._sock.makefile("rb")
+        # The master speaks first: verify its protocol before anything
+        # else flows, so a version mismatch fails fast and typed.
+        self.server = protocol.check_hello(self._read_message())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "MasterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing.
+    # ------------------------------------------------------------------
+    def _read_message(self) -> dict:
+        try:
+            line = self._file.readline(protocol.MAX_LINE_BYTES + 2)
+        except OSError as error:
+            raise MasterError(
+                "connection", f"lost the master mid-read: {error}"
+            ) from None
+        if not line:
+            raise MasterError(
+                "connection",
+                "the master closed the connection "
+                f"({self.socket_path})",
+            )
+        if not line.endswith(b"\n"):
+            raise protocol.ProtocolError(
+                protocol.E_OVERSIZED,
+                f"server line exceeds {protocol.MAX_LINE_BYTES} bytes",
+            )
+        return protocol.decode_line(line)
+
+    def call(self, method: str, params: dict | None = None,
+             on_event=None):
+        """One request/response round-trip.
+
+        Events arriving before the response are passed to ``on_event``
+        (dropped when None); responses are matched by request id, so an
+        interleaved response to *another* request on this connection
+        would be ignored rather than mistaken for ours.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        try:
+            self._sock.sendall(
+                protocol.encode(protocol.request(request_id, method, params))
+            )
+        except OSError as error:
+            raise MasterError(
+                "connection", f"lost the master mid-send: {error}"
+            ) from None
+        while True:
+            message = self._read_message()
+            kind = protocol.kind_of(message)
+            if kind == "event":
+                if on_event is not None:
+                    on_event(message)
+                continue
+            if kind != "response" or message.get("id") not in (
+                    request_id, None):
+                continue
+            if "error" in message:
+                error = message["error"]
+                raise MasterError(error["code"], error["message"])
+            return message["result"]
+
+    # ------------------------------------------------------------------
+    # The verbs.
+    # ------------------------------------------------------------------
+    def hello(self) -> dict:
+        """The master's ``{protocol, version}`` pair, re-queried."""
+        return self.call("hello")
+
+    def submit(self, preset: str | None = None, config: dict | None = None,
+               kind: str | None = None, priority: int = 0) -> dict:
+        params: dict = {"priority": priority}
+        if preset is not None:
+            params["preset"] = preset
+        if config is not None:
+            params["config"] = config
+        if kind is not None:
+            params["kind"] = kind
+        return self.call("submit", params)
+
+    def status(self, job: int | None = None) -> dict:
+        params = {} if job is None else {"job": job}
+        return self.call("status", params)
+
+    def cancel(self, job: int) -> dict:
+        return self.call("cancel", {"job": job})
+
+    def delete(self, job: int) -> dict:
+        return self.call("delete", {"job": job})
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+    def watch(self, job: int, on_event=None) -> dict:
+        """Follow ``job`` to completion; returns its final description.
+
+        Subscribes, replays the job's event history, then streams live
+        events into ``on_event(message)`` until the terminal ``done``
+        event arrives.  The return value is the job's final
+        ``describe()`` payload (state, error, summary).
+        """
+        final: list[dict] = []
+
+        def sink(message):
+            if on_event is not None:
+                on_event(message)
+            if (message.get("event") == "done"
+                    and message.get("job") == job):
+                final.append(message.get("data", {}))
+
+        # The replay (terminal event included, for already-finished
+        # jobs) arrives *before* the response, so the subscription call
+        # itself may already deliver the ending.
+        self.call("watch", {"job": job}, on_event=sink)
+        while not final:
+            message = self._read_message()
+            if protocol.kind_of(message) != "event":
+                continue
+            sink(message)
+        return final[0]

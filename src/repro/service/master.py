@@ -1,0 +1,592 @@
+"""The asyncio ``repro master``: one warm cache, one pool, many jobs.
+
+The master owns the three expensive singletons every CLI invocation
+used to rebuild and tear down — the worker pool, the
+``.repro-cache/`` :class:`~repro.orchestration.cache.ResultCache`, and
+the scheduler driver — and serves them to thin clients over a
+line-delimited JSON-RPC protocol on a unix-domain socket
+(:mod:`repro.service.protocol`).
+
+Execution model (the PR-4 seam, made long-lived):
+
+* Each job wraps one
+  :class:`~repro.orchestration.runner.SchedulerDrive` — the exact
+  state machine ``SweepRunner.run_scheduler`` uses, shared so service
+  and CLI semantics can never diverge.  Schedulers are pull-based, so
+  the master owns the capacity loop: it feeds a job's proposed tasks
+  into the shared executor a slot at a time and routes outcomes back
+  by a master-global task id.
+* Exactly one job drives at a time (artiq-style): when a
+  strictly-higher-priority job arrives, the running job stops
+  submitting, lets its in-flight slots drain, and is ``paused`` — its
+  drive (scheduler state included) stays in memory — while the
+  newcomer runs; it resumes where it left off afterwards.
+* Every point completion streams to subscribed ``repro watch`` clients
+  as an event; a client death mid-watch only drops the subscription,
+  never the job.
+* The queue persists atomically on every mutation, so a restarted
+  master re-offers unfinished jobs; their completed points replay from
+  the shared cache as pure hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import traceback
+from pathlib import Path
+
+from repro.orchestration.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.orchestration.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    TaskInterrupted,
+)
+from repro.orchestration.runner import (
+    SchedulerDrive,
+    execute_point,
+    pending_point_dict,
+    point_dict,
+)
+from repro.orchestration.scheduler import StaticScheduler
+from repro.service import protocol, queue as jobqueue
+from repro.service.queue import JobQueue
+
+DEFAULT_SOCKET = ".repro-master.sock"
+DEFAULT_STATE = ".repro-master.json"
+
+
+def detect_config_kind(payload: dict) -> str:
+    """Which job kind a raw config-file dict describes.
+
+    A :class:`SearchConfig` always carries ``strategy``; a
+    :class:`SweepConfig` carries sweep-only keys (``axes`` / ``seeds``
+    / ``presets`` / ``base``) without a model section; everything else
+    is a single-run :class:`ExperimentConfig`.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("config payload must be a JSON object")
+    if "strategy" in payload:
+        return "search"
+    if "model" in payload or "quant" in payload:
+        return "run"
+    if any(key in payload for key in ("axes", "seeds", "presets", "base")):
+        return "sweep"
+    raise ValueError(
+        "cannot tell whether this config is a run, sweep, or search; "
+        "pass an explicit kind"
+    )
+
+
+def build_scheduler_for(kind: str, payload) -> tuple:
+    """``(scheduler, name)`` for a validated job spec.
+
+    ``payload`` is the preset's resolved config object or a raw config
+    dict; errors raise ``ValueError``/``KeyError`` (submission-time
+    validation happens through this same path, so a job that enqueues
+    can always at least *start*).
+    """
+    from repro.api.config import ExperimentConfig
+    from repro.orchestration.search import SearchConfig, build_scheduler
+    from repro.orchestration.sweep import SweepConfig, SweepPoint, expand
+
+    if kind == "search":
+        search = (payload if isinstance(payload, SearchConfig)
+                  else SearchConfig.from_dict(payload))
+        return build_scheduler(search), search.name
+    if kind == "sweep":
+        sweep = (payload if isinstance(payload, SweepConfig)
+                 else SweepConfig.from_dict(payload))
+        return StaticScheduler(expand(sweep), name=sweep.name), sweep.name
+    if kind == "run":
+        config = (payload if isinstance(payload, ExperimentConfig)
+                  else ExperimentConfig.from_dict(payload))
+        point = SweepPoint(label=config.name, config=config, index=0)
+        return StaticScheduler([point], name=config.name), config.name
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+def resolve_spec(spec: dict) -> tuple:
+    """Validate a submission spec; returns ``(kind, name, payload)``.
+
+    ``{"preset": name}`` resolves server-side through every registry
+    (search, then sweep, then experiment — see
+    :func:`repro.api.experiments.resolve_any`); ``{"config": {...}}``
+    carries the config dict inline with an optional explicit
+    ``"kind"``.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("submission spec must be an object")
+    preset = spec.get("preset")
+    config = spec.get("config")
+    if (preset is None) == (config is None):
+        raise ValueError("spec needs exactly one of 'preset' / 'config'")
+    if preset is not None:
+        from repro.api import experiments
+
+        kind, payload = experiments.resolve_any(preset)
+        return kind, preset, payload
+    kind = spec.get("kind") or detect_config_kind(config)
+    if kind not in jobqueue.JOB_KINDS:
+        raise ValueError(
+            f"unknown job kind {kind!r} (choose from {jobqueue.JOB_KINDS})"
+        )
+    name = config.get("name") if isinstance(config, dict) else None
+    return kind, name or f"inline-{kind}", config
+
+
+class _JobRun:
+    """A live job: its drive, backlog, and outcome mailbox."""
+
+    def __init__(self, job, drive: SchedulerDrive, scheduler):
+        self.job = job
+        self.drive = drive
+        self.scheduler = scheduler
+        self.backlog: list[dict] = []   # proposed tasks awaiting a slot
+        self.results: asyncio.Queue = asyncio.Queue()
+        self.outstanding = 0            # tasks submitted, outcome pending
+        self.active = True
+        self.error: str | None = None
+
+
+class Master:
+    """The experiment-service daemon; ``serve()`` runs until shutdown."""
+
+    def __init__(self, socket_path=DEFAULT_SOCKET, jobs: int = 1,
+                 cache_dir=DEFAULT_CACHE_DIR, state_path=DEFAULT_STATE,
+                 task_timeout: float | None = None, execute=execute_point,
+                 log=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.socket_path = Path(socket_path)
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir)
+        self.queue = JobQueue.load(state_path)
+        self.task_timeout = task_timeout
+        self.execute = execute
+        self.log = log or (lambda message: None)
+        self._stopping = False
+        self._executor = None
+        self._gid = 0                     # master-global task ids
+        self._inflight: dict = {}         # gid -> (_JobRun, local index)
+        self._runs: dict[int, _JobRun] = {}
+        self._history: dict[int, list[dict]] = {}   # job id -> events
+        self._subscribers: dict[int, set] = {}      # job id -> writers
+        self._wake = asyncio.Event()
+        self._have_work = asyncio.Event()
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def _make_executor(self):
+        # The interrupt flag unblocks the pump thread at shutdown even
+        # while a result wait is in progress.
+        if self.jobs == 1:
+            return SerialExecutor(self.execute,
+                                  interrupt=lambda: self._stopping)
+        return ProcessExecutor(self.jobs, self.execute,
+                               task_timeout=self.task_timeout,
+                               interrupt=lambda: self._stopping)
+
+    def request_shutdown(self) -> None:
+        """Stop serving (signal handlers and the ``shutdown`` method)."""
+        self._stopping = True
+        self._stopped.set()
+        self._wake.set()
+        self._have_work.set()
+
+    async def serve(self) -> None:
+        """Bind the socket and serve until :meth:`request_shutdown`.
+
+        A pre-existing socket file is assumed stale (a crashed master)
+        and replaced; run one master per socket path.
+        """
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        with self._make_executor() as executor:
+            self._executor = executor
+            server = await asyncio.start_unix_server(
+                self._on_client, path=str(self.socket_path),
+                limit=protocol.MAX_LINE_BYTES + 2,
+            )
+            pump = asyncio.create_task(self._pump())
+            loop = asyncio.create_task(self._scheduler_loop())
+            self.log(f"master listening on {self.socket_path} "
+                     f"({self.jobs} executor slot(s), "
+                     f"{len(self.queue)} job(s) restored)")
+            try:
+                async with server:
+                    await self._stopped.wait()
+            finally:
+                self._stopping = True
+                for task in (pump, loop):
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
+                with contextlib.suppress(OSError):
+                    self.socket_path.unlink()
+                self.queue.persist()
+                self.log("master stopped")
+
+    # ------------------------------------------------------------------
+    # Task plumbing: global ids over the shared executor.
+    # ------------------------------------------------------------------
+    def _submit_task(self, run: _JobRun, task: dict) -> None:
+        gid = self._gid
+        self._gid += 1
+        self._inflight[gid] = (run, task["index"])
+        run.outstanding += 1
+        self._executor.submit({"index": gid, "config": task["config"]})
+        self._have_work.set()
+
+    async def _pump(self) -> None:
+        """Route executor outcomes back to their jobs' mailboxes."""
+        while True:
+            await self._have_work.wait()
+            if not self._inflight:
+                self._have_work.clear()
+                continue
+            try:
+                outcome = await asyncio.to_thread(self._executor.next_result)
+            except TaskInterrupted:
+                return  # shutdown
+            entry = self._inflight.pop(outcome.get("index"), None)
+            if not self._inflight:
+                self._have_work.clear()
+            if entry is None:
+                continue  # outcome of a cancelled job's straggler
+            run, local = entry
+            run.outstanding -= 1
+            outcome["index"] = local
+            if run.active:
+                run.results.put_nowait(outcome)
+
+    # ------------------------------------------------------------------
+    # The capacity loop: one driving job at a time, pause between rounds.
+    # ------------------------------------------------------------------
+    async def _scheduler_loop(self) -> None:
+        while not self._stopping:
+            job = self.queue.next_runnable()
+            if job is None:
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            run = self._runs.get(job.id)
+            if run is None:
+                try:
+                    run = self._make_run(job)
+                except Exception as error:
+                    self._finalize(job, None, jobqueue.FAILED,
+                                   error=f"{type(error).__name__}: {error}")
+                    continue
+                self._runs[job.id] = run
+            resumed = job.state == jobqueue.PAUSED
+            self.queue.mark(job, jobqueue.RUNNING)
+            self._emit_state(job, resumed=resumed)
+            verdict = await self._drive(run)
+            if verdict == "paused":
+                self.queue.mark(job, jobqueue.PAUSED)
+                self._emit_state(job)
+                continue
+            self._runs.pop(job.id, None)
+            run.active = False
+            if verdict == "done":
+                self._finalize(job, run, jobqueue.DONE)
+            elif verdict == "cancelled":
+                self._finalize(job, run, jobqueue.CANCELLED)
+            else:
+                self._finalize(job, run, jobqueue.FAILED, error=run.error)
+
+    def _make_run(self, job) -> _JobRun:
+        kind, _, payload = resolve_spec(job.spec)
+        scheduler, name = build_scheduler_for(kind, payload)
+
+        def on_point(result, position, total):
+            self._emit(job.id, protocol.event(
+                "point", job=job.id,
+                data=point_dict(result, position)))
+
+        def on_schedule(new_points, total):
+            start = total - len(new_points)
+            self._emit(job.id, protocol.event(
+                "schedule", job=job.id,
+                data={
+                    "total": total,
+                    "points": [
+                        pending_point_dict(point, start + offset)
+                        for offset, point in enumerate(new_points)
+                    ],
+                }))
+
+        drive = SchedulerDrive(
+            scheduler, name=name, cache=self.cache,
+            log=lambda message: self.log(f"job {job.id}: {message}"),
+            on_point=on_point, on_schedule=on_schedule,
+        )
+        return _JobRun(job, drive, scheduler)
+
+    async def _drive(self, run: _JobRun) -> str:
+        """Drive one job until done/failed/cancelled — or ``paused``.
+
+        The pause points sit *between scheduler rounds*: a preempting
+        submission stops further task submission, lets the in-flight
+        slots drain, and hands the loop back with the drive (and any
+        backlog) intact for resumption.
+        """
+        drive, job = run.drive, run.job
+        while True:
+            if job.cancel_requested:
+                return "cancelled"
+            preempt = self._stopping or self.queue.should_preempt(job)
+            if not preempt:
+                if not drive.done:
+                    try:
+                        run.backlog.extend(drive.round())
+                    except RuntimeError as error:
+                        run.error = str(error)
+                        return "failed"
+                while run.backlog and run.outstanding < self.jobs:
+                    self._submit_task(run, run.backlog.pop(0))
+            if drive.done and drive.in_flight == 0:
+                return "done"
+            if preempt and run.outstanding == 0:
+                return "paused"
+            if run.outstanding == 0:
+                run.error = (
+                    f"scheduler {type(run.scheduler).__name__} has "
+                    "unsubmittable work while no tasks are in flight"
+                )
+                return "failed"
+            outcome = await run.results.get()
+            try:
+                drive.deliver(outcome)
+            except RuntimeError as error:
+                run.error = str(error)
+                return "failed"
+
+    def _summarize(self, run: _JobRun | None) -> dict:
+        if run is None:
+            return {}
+        result = run.drive.partial_result()
+        summary = {
+            "stats": result.stats,
+            "scheduled": len(run.drive.points),
+        }
+        scheduler = run.scheduler
+        if hasattr(scheduler, "best"):
+            from repro.orchestration.search import bit_vector_of, trial_metrics
+
+            best = scheduler.best()
+            summary["search"] = {
+                "best": None if best is None else {
+                    "label": best.label,
+                    "key": best.key,
+                    "config": (best.config.to_dict()
+                               if best.config is not None else None),
+                    "metrics": trial_metrics(best),
+                },
+                "bit_vector": bit_vector_of(best),
+                "feasibility": scheduler.feasibility(),
+            }
+        return summary
+
+    def _finalize(self, job, run: _JobRun | None, state: str,
+                  error: str | None = None) -> None:
+        self.queue.mark(job, state, error=error,
+                        summary=self._summarize(run))
+        self.log(f"job {job.id} ({job.name}): {state}"
+                 + (f" — {error}" if error else ""))
+        self._emit(job.id, protocol.event(
+            "done", job=job.id, data=job.describe()))
+
+    def _emit_state(self, job, resumed: bool = False) -> None:
+        data = job.describe()
+        if resumed:
+            data["resumed"] = True
+        self._emit(job.id, protocol.event("state", job=job.id, data=data))
+
+    # ------------------------------------------------------------------
+    # Events: history for replay + live fan-out to subscribers.
+    # ------------------------------------------------------------------
+    def _emit(self, job_id: int, message: dict) -> None:
+        self._history.setdefault(job_id, []).append(message)
+        line = protocol.encode(message)
+        for writer in list(self._subscribers.get(job_id, ())):
+            try:
+                writer.write(line)
+            except Exception:
+                self._subscribers[job_id].discard(writer)
+
+    # ------------------------------------------------------------------
+    # Client connections.
+    # ------------------------------------------------------------------
+    async def _on_client(self, reader, writer) -> None:
+        writer.write(protocol.encode(protocol.hello_event()))
+        try:
+            await writer.drain()
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Oversized line: the stream is now misframed, so
+                    # answer with the typed error and hang up.
+                    writer.write(protocol.encode(protocol.error_response(
+                        None, protocol.E_OVERSIZED,
+                        f"line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                reply = self._handle_line(line, writer)
+                if reply is not None:
+                    writer.write(protocol.encode(reply))
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # a dying client never takes a job down with it
+        except asyncio.CancelledError:
+            pass  # loop teardown at shutdown; connection dies with us
+        finally:
+            for subscribers in self._subscribers.values():
+                subscribers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _handle_line(self, line: bytes, writer) -> dict | None:
+        """One request line -> one response message (or None after
+        ``watch``, which writes its own replay before responding)."""
+        try:
+            message = protocol.decode_line(line)
+            if protocol.kind_of(message) != "request":
+                raise protocol.ProtocolError(
+                    protocol.E_INVALID, "only requests flow client->master"
+                )
+        except protocol.ProtocolError as error:
+            return error.to_error()
+        request_id = message["id"]
+        method = message["method"]
+        params = message.get("params", {})
+        try:
+            handler = getattr(self, f"_rpc_{method}", None)
+            if handler is None:
+                raise protocol.ProtocolError(
+                    protocol.E_UNKNOWN_METHOD,
+                    f"unknown method {method!r}",
+                )
+            return protocol.response(
+                request_id, handler(params, writer, request_id)
+            )
+        except protocol.ProtocolError as error:
+            return error.to_error(request_id)
+        except (KeyError, TypeError, ValueError) as error:
+            code = (protocol.E_UNKNOWN_JOB
+                    if isinstance(error, KeyError) else protocol.E_BAD_PARAMS)
+            text = (error.args[0]
+                    if error.args and isinstance(error.args[0], str)
+                    else str(error))
+            return protocol.error_response(request_id, code, text)
+        except Exception as error:  # a server bug must not kill the master
+            self.log("server error: " + traceback.format_exc())
+            return protocol.error_response(
+                request_id, protocol.E_SERVER,
+                f"{type(error).__name__}: {error}",
+            )
+
+    # --- request handlers -------------------------------------------
+    def _rpc_hello(self, params, writer, request_id):
+        return {"protocol": protocol.PROTOCOL_VERSION,
+                "version": protocol.repro_version()}
+
+    def _rpc_submit(self, params, writer, request_id):
+        spec = {key: params[key] for key in ("preset", "config", "kind")
+                if key in params}
+        priority = params.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ValueError("priority must be an integer")
+        try:
+            kind, name, _ = resolve_spec(spec)  # validates before enqueue
+        except KeyError as error:
+            # An unknown *preset* is a bad submission, not a bad job id.
+            text = (error.args[0]
+                    if error.args and isinstance(error.args[0], str)
+                    else str(error))
+            raise protocol.ProtocolError(
+                protocol.E_BAD_PARAMS, text
+            ) from None
+        spec.setdefault("kind", kind)
+        job = self.queue.submit(kind, name, spec, priority=priority)
+        self.log(f"job {job.id} ({name}): submitted "
+                 f"[{kind}, priority {priority}]")
+        self._emit_state(job)
+        self._wake.set()
+        return {"job": job.id, "kind": kind, "name": name,
+                "priority": priority}
+
+    def _rpc_status(self, params, writer, request_id):
+        job_id = params.get("job")
+        if job_id is not None:
+            return {"jobs": [self.queue.get(job_id).describe()]}
+        return {
+            "master": {
+                "version": protocol.repro_version(),
+                "protocol": protocol.PROTOCOL_VERSION,
+                "jobs": self.jobs,
+                "cache_dir": str(self.cache.root),
+                "cache_entries": self.cache.entry_count(),
+            },
+            "jobs": [job.describe() for job in self.queue.jobs()],
+        }
+
+    def _rpc_watch(self, params, writer, request_id):
+        job = self.queue.get(params["job"])
+        history = list(self._history.get(job.id, ()))
+        self._subscribers.setdefault(job.id, set()).add(writer)
+        # Replay history *before* the response is sent by the caller —
+        # no await separates these writes, so live events cannot
+        # interleave into the replay.
+        for message in history:
+            writer.write(protocol.encode(message))
+        if job.finished:
+            # A job finished before this master's lifetime (restored
+            # from the state file) has no history; synthesize the
+            # terminal event so the watch always ends.
+            writer.write(protocol.encode(protocol.event(
+                "done", job=job.id, data=job.describe())))
+        return {"job": job.id, "state": job.state,
+                "replayed": len(history)}
+
+    def _rpc_cancel(self, params, writer, request_id):
+        job = self.queue.get(params["job"])
+        try:
+            outcome = self.queue.cancel(job)
+        except ValueError as error:
+            raise protocol.ProtocolError(
+                protocol.E_INVALID_STATE, str(error)
+            ) from None
+        if outcome == jobqueue.CANCELLED:
+            self._emit(job.id, protocol.event(
+                "done", job=job.id, data=job.describe()))
+        self.log(f"job {job.id} ({job.name}): cancel {outcome}")
+        self._wake.set()
+        return {"job": job.id, "cancel": outcome, "state": job.state}
+
+    def _rpc_delete(self, params, writer, request_id):
+        job = self.queue.get(params["job"])
+        try:
+            self.queue.delete(job)
+        except ValueError as error:
+            raise protocol.ProtocolError(
+                protocol.E_INVALID_STATE, str(error)
+            ) from None
+        self._history.pop(job.id, None)
+        self._subscribers.pop(job.id, None)
+        return {"job": job.id, "deleted": True}
+
+    def _rpc_shutdown(self, params, writer, request_id):
+        self.log("shutdown requested")
+        # The response is returned first; stopping flips on the next
+        # loop tick so the client hears the acknowledgement.
+        asyncio.get_running_loop().call_soon(self.request_shutdown)
+        return {"stopping": True}

@@ -1,0 +1,257 @@
+"""Line-delimited JSON-RPC framing for the ``repro master`` service.
+
+One message per line, UTF-8 JSON, ``\\n``-terminated.  Three message
+kinds, distinguished by their keys:
+
+* **request** — ``{"v": 1, "id": <int>, "method": <str>,
+  "params": {...}}``.  Ids are chosen by the client and echoed on the
+  response, so responses can be correlated even when server events
+  interleave between them.
+* **response** — ``{"v": 1, "id": <int>, "result": ...}`` on success or
+  ``{"v": 1, "id": <int-or-null>, "error": {"code": <str>,
+  "message": <str>}}`` on failure.  An error with a null id reports a
+  line the server could not even attribute to a request (garbage,
+  oversized input).
+* **event** — ``{"v": 1, "event": <str>, "job": <int-or-null>,
+  "data": ...}``.  Server-initiated; never carries an id.
+
+Every message carries the protocol version under ``"v"``; the master
+greets each connection with a ``hello`` event holding its
+``{"protocol", "version"}`` pair so clients can refuse to talk across
+an incompatible upgrade (see :func:`hello_event` /
+:func:`check_hello`).
+
+This module depends on nothing else in the service (or the rest of
+:mod:`repro`) so the framing is unit-testable in isolation; errors are
+*typed* — every failure mode maps to a stable code in
+:data:`ERROR_CODES` via :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+
+PROTOCOL_VERSION = 1
+
+# One line must comfortably hold a full point event (a report plus
+# artifacts serializes to tens of KB); anything near this bound is not
+# a legitimate message but a framing bug or garbage on the socket.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+# The closed set of error codes a response may carry.
+E_PARSE = "parse_error"           # line is not valid JSON
+E_OVERSIZED = "oversized_line"    # line exceeds MAX_LINE_BYTES
+E_INVALID = "invalid_message"     # JSON, but not a valid message shape
+E_PROTOCOL = "protocol_mismatch"  # incompatible protocol version
+E_UNKNOWN_METHOD = "unknown_method"
+E_BAD_PARAMS = "bad_params"
+E_UNKNOWN_JOB = "unknown_job"
+E_INVALID_STATE = "invalid_state"  # e.g. cancelling a finished job
+E_SERVER = "server_error"
+
+ERROR_CODES = (
+    E_PARSE, E_OVERSIZED, E_INVALID, E_PROTOCOL, E_UNKNOWN_METHOD,
+    E_BAD_PARAMS, E_UNKNOWN_JOB, E_INVALID_STATE, E_SERVER,
+)
+
+
+def repro_version() -> str:
+    """The installed package version (handshake + ``repro --version``).
+
+    Prefers the installed distribution's metadata (what ``pip`` sees);
+    falls back to the in-tree ``repro.__version__`` when running from a
+    source checkout that was never installed.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-ad-quant")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
+class ProtocolError(Exception):
+    """A typed framing/validation failure.
+
+    ``code`` is always one of :data:`ERROR_CODES`, so handlers can
+    branch on it (and serialize it) without parsing message text.
+    """
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        self.code = code
+        super().__init__(message)
+
+    def to_error(self, request_id=None) -> dict:
+        """This failure as an error-response message."""
+        return error_response(request_id, self.code, str(self))
+
+
+# ---------------------------------------------------------------------------
+# Encoding / decoding one line.
+# ---------------------------------------------------------------------------
+
+def encode(message: dict) -> bytes:
+    """One message as a complete ``\\n``-terminated line.
+
+    ``ensure_ascii`` stays on (the default) so the payload itself can
+    never contain a raw newline and break the framing.
+    """
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            E_INVALID, f"message must be a dict, got {type(message).__name__}"
+        )
+    line = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            E_OVERSIZED,
+            f"encoded message is {len(line)} bytes "
+            f"(limit {MAX_LINE_BYTES})",
+        )
+    return line + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """One received line back into a validated message dict.
+
+    Raises :class:`ProtocolError` with a stable code for every failure
+    mode: oversized input (:data:`E_OVERSIZED`), non-JSON garbage
+    (:data:`E_PARSE`), JSON that is not a message (:data:`E_INVALID`),
+    and a message from an incompatible protocol (:data:`E_PROTOCOL`).
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            E_OVERSIZED,
+            f"line is {len(line)} bytes (limit {MAX_LINE_BYTES})",
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(E_PARSE, f"not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            E_INVALID,
+            f"message must be a JSON object, got "
+            f"{type(message).__name__}",
+        )
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_PROTOCOL,
+            f"protocol version {version!r} is not the supported "
+            f"version {PROTOCOL_VERSION}",
+        )
+    kind_of(message)  # shape validation; raises E_INVALID
+    return message
+
+
+def kind_of(message: dict) -> str:
+    """``"request"`` / ``"response"`` / ``"event"``, validating shape."""
+    if "method" in message:
+        if not isinstance(message.get("method"), str) or not message["method"]:
+            raise ProtocolError(E_INVALID, "request method must be a string")
+        if not isinstance(message.get("id"), int):
+            raise ProtocolError(
+                E_INVALID, "request id must be an integer"
+            )
+        if not isinstance(message.get("params", {}), dict):
+            raise ProtocolError(E_INVALID, "request params must be an object")
+        return "request"
+    if "event" in message:
+        if not isinstance(message["event"], str) or not message["event"]:
+            raise ProtocolError(E_INVALID, "event name must be a string")
+        return "event"
+    if "result" in message or "error" in message:
+        request_id = message.get("id")
+        if request_id is not None and not isinstance(request_id, int):
+            raise ProtocolError(E_INVALID, "response id must be an integer")
+        if "error" in message:
+            error = message["error"]
+            if (not isinstance(error, dict)
+                    or error.get("code") not in ERROR_CODES
+                    or not isinstance(error.get("message"), str)):
+                raise ProtocolError(
+                    E_INVALID,
+                    "error responses need a {code, message} object with "
+                    "a known code",
+                )
+        return "response"
+    raise ProtocolError(
+        E_INVALID,
+        "message is neither a request (method), a response "
+        "(result/error), nor an event",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Message constructors.
+# ---------------------------------------------------------------------------
+
+def request(request_id: int, method: str, params: dict | None = None) -> dict:
+    message: dict = {"v": PROTOCOL_VERSION, "id": request_id,
+                     "method": method}
+    if params:
+        message["params"] = params
+    return message
+
+
+def response(request_id: int, result) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "result": result}
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "error": {"code": code, "message": message},
+    }
+
+
+def event(name: str, data=None, job: int | None = None) -> dict:
+    message: dict = {"v": PROTOCOL_VERSION, "event": name, "job": job}
+    if data is not None:
+        message["data"] = data
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Handshake: the master greets, the client verifies.
+# ---------------------------------------------------------------------------
+
+def hello_event() -> dict:
+    """The greeting a master sends on every new connection."""
+    return event("hello", data={
+        "protocol": PROTOCOL_VERSION,
+        "version": repro_version(),
+    })
+
+
+def check_hello(message: dict) -> dict:
+    """Validate a received greeting; returns its data payload.
+
+    Raises :data:`E_PROTOCOL` when the peer speaks a different protocol
+    version — the client-side half of the version handshake.
+    """
+    if message.get("event") != "hello":
+        raise ProtocolError(
+            E_INVALID,
+            f"expected a hello event, got {message!r}",
+        )
+    data = message.get("data")
+    if not isinstance(data, dict) or "protocol" not in data:
+        raise ProtocolError(E_INVALID, "hello event carries no protocol")
+    if data["protocol"] != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_PROTOCOL,
+            f"master speaks protocol {data['protocol']!r} "
+            f"(version {data.get('version', '?')}), this client speaks "
+            f"{PROTOCOL_VERSION}",
+        )
+    return data

@@ -135,3 +135,151 @@ class TestProcessBackend:
     def test_rejects_single_job(self):
         with pytest.raises(ValueError, match="jobs >= 2"):
             ProcessExecutor(1, execute_point)
+
+
+HANG_SEED = 9
+NAP_SEED_FLOOR = 20   # seeds >= this sleep briefly (timeout-clock tests)
+
+
+def fast_or_hang(task):
+    """Worker entry point that hangs forever on the marked seed.
+
+    Everything else returns a canned outcome immediately, so timeout
+    tests measure the *timeout* machinery, not training time.
+    """
+    import time
+
+    seed = task["config"]["model"]["seed"]
+    if seed == HANG_SEED:
+        time.sleep(600)
+    if seed >= NAP_SEED_FLOOR:
+        time.sleep(1.0)
+    return {"index": task["index"], "status": "ok",
+            "payload": {"report": {"seed": seed}, "artifacts": {}},
+            "duration": 0.0}
+
+
+class TestTaskTimeout:
+    def test_hung_task_becomes_structured_timeout_failure(self):
+        result = SweepRunner(
+            jobs=2, execute=fast_or_hang, task_timeout=1.0
+        ).run([
+            SweepPoint(label="quick", config=micro_config(0)),
+            SweepPoint(label="hangs", config=micro_config(HANG_SEED)),
+        ])
+        by_label = {p.label: p for p in result.points}
+        assert by_label["quick"].status == "ok"
+        hung = by_label["hangs"]
+        assert hung.status == "failed"
+        assert "task_timeout" in hung.error
+        assert "recycled" in hung.error
+        assert result.stats["failed"] == 1
+
+    def test_pool_recycled_after_timeout_for_later_proposals(self):
+        # A point proposed *after* a timeout must run on a fresh pool.
+        points = [
+            SweepPoint(label="hangs", config=micro_config(HANG_SEED)),
+            SweepPoint(label="recovers", config=micro_config(3)),
+        ]
+
+        class AfterTimeout(Scheduler):
+            def __init__(self):
+                self._issued = 0
+
+            def next_points(self, completed):
+                if len(completed) < self._issued:
+                    return []
+                if self._issued < len(points):
+                    point = points[self._issued]
+                    self._issued += 1
+                    return [point]
+                return DONE
+
+        result = SweepRunner(
+            jobs=2, execute=fast_or_hang, task_timeout=1.0
+        ).run_scheduler(AfterTimeout(), name="timeout-recovery")
+        assert [p.status for p in result.points] == ["failed", "ok"]
+        assert result.points[1].payload["report"]["seed"] == 3
+
+    def test_clock_starts_when_the_task_runs_not_when_queued(self):
+        # Three 1s naps on two workers: the third task *waits* ~1s for
+        # a slot before its 1s run.  Wall time exceeds the 1.6s timeout,
+        # per-task runtime does not — nothing may time out.
+        result = SweepRunner(
+            jobs=2, execute=fast_or_hang, task_timeout=1.6
+        ).run([
+            SweepPoint(label=f"nap{i}",
+                       config=micro_config(NAP_SEED_FLOOR + i))
+            for i in range(3)
+        ])
+        assert [p.status for p in result.points] == ["ok", "ok", "ok"]
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ProcessExecutor(2, execute_point, task_timeout=0)
+
+    def test_timeout_outcome_shape_matches_crash_outcome(self):
+        from repro.orchestration import crash_outcome, timeout_outcome
+
+        task = {"index": 4, "config": {}}
+        timeout = timeout_outcome(task, 2.0, 2.3)
+        crash = crash_outcome(task, error=RuntimeError("x"))
+        assert set(timeout) == set(crash)
+        assert timeout["index"] == 4
+        assert timeout["status"] == "timeout"
+
+
+class TestInterrupt:
+    def test_serial_interrupt_stops_between_tasks(self):
+        from repro.orchestration import SweepInterrupted
+
+        class Flag:
+            fired = False
+
+            def __call__(self):
+                return self.fired
+
+        flag = Flag()
+
+        def execute_and_fire(task):
+            flag.fired = True
+            return {"index": task["index"], "status": "ok",
+                    "payload": {"report": {}, "artifacts": {}},
+                    "duration": 0.0}
+
+        runner = SweepRunner(execute=execute_and_fire, interrupt=flag)
+        with pytest.raises(SweepInterrupted) as err:
+            runner.run([
+                SweepPoint(label=f"p{i}", config=micro_config(i))
+                for i in range(3)
+            ])
+        # The in-flight point finished; the rest were abandoned cleanly.
+        assert len(err.value.result.points) == 1
+        assert err.value.pending == 2
+
+    def test_process_interrupt_unblocks_a_waiting_driver(self):
+        import threading
+        import time
+
+        from repro.orchestration import SweepInterrupted
+
+        class Flag:
+            fired = False
+
+            def __call__(self):
+                return self.fired
+
+        flag = Flag()
+        # Both workers nap ~1s; the flag fires mid-wait and must
+        # unblock the driver within an interrupt poll interval, not
+        # after the naps complete.
+        threading.Timer(0.3, lambda: setattr(flag, "fired", True)).start()
+        runner = SweepRunner(jobs=2, execute=fast_or_hang, interrupt=flag)
+        t0 = time.time()
+        with pytest.raises(SweepInterrupted):
+            runner.run([
+                SweepPoint(label=f"nap{i}",
+                           config=micro_config(NAP_SEED_FLOOR + i))
+                for i in range(2)
+            ])
+        assert time.time() - t0 < 0.95  # well before the 1s naps end

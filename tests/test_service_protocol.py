@@ -1,0 +1,131 @@
+"""Service protocol: framing round-trips, typed errors, correlation."""
+
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+
+
+class TestRoundTrips:
+    def test_request_round_trip(self):
+        message = protocol.request(7, "submit", {"preset": "x", "priority": 3})
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        decoded = protocol.decode_line(line)
+        assert decoded == message
+        assert protocol.kind_of(decoded) == "request"
+
+    def test_response_round_trip(self):
+        message = protocol.response(7, {"job": 1})
+        decoded = protocol.decode_line(protocol.encode(message))
+        assert decoded == message
+        assert protocol.kind_of(decoded) == "response"
+
+    def test_error_response_round_trip(self):
+        message = protocol.error_response(None, protocol.E_PARSE, "nope")
+        decoded = protocol.decode_line(protocol.encode(message))
+        assert decoded["error"] == {"code": "parse_error", "message": "nope"}
+        assert protocol.kind_of(decoded) == "response"
+
+    def test_event_round_trip(self):
+        message = protocol.event("point", data={"label": "p"}, job=4)
+        decoded = protocol.decode_line(protocol.encode(message))
+        assert decoded == message
+        assert protocol.kind_of(decoded) == "event"
+
+    def test_params_with_newlines_stay_one_line(self):
+        # ensure_ascii escapes everything; framing cannot be broken by
+        # payload content.
+        message = protocol.request(1, "submit",
+                                   {"note": "line1\nline2 "})
+        line = protocol.encode(message)
+        assert line.count(b"\n") == 1
+        assert protocol.decode_line(line)["params"]["note"] \
+            == "line1\nline2 "
+
+    def test_str_input_accepted(self):
+        message = protocol.decode_line(
+            json.dumps({"v": 1, "id": 1, "method": "status"})
+        )
+        assert message["method"] == "status"
+
+
+class TestTypedErrors:
+    def assert_code(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_line(line)
+        assert err.value.code == code
+
+    def test_garbage_is_parse_error(self):
+        self.assert_code(b"not json at all\n", protocol.E_PARSE)
+
+    def test_non_utf8_is_parse_error(self):
+        self.assert_code(b"\xff\xfe{}\n", protocol.E_PARSE)
+
+    def test_non_object_is_invalid(self):
+        self.assert_code(b"[1,2,3]\n", protocol.E_INVALID)
+
+    def test_oversized_line_is_typed(self):
+        line = b'{"v":1,"pad":"' + b"x" * protocol.MAX_LINE_BYTES + b'"}'
+        self.assert_code(line, protocol.E_OVERSIZED)
+
+    def test_missing_version_is_protocol_mismatch(self):
+        self.assert_code(b'{"id":1,"method":"status"}', protocol.E_PROTOCOL)
+
+    def test_wrong_version_is_protocol_mismatch(self):
+        self.assert_code(b'{"v":99,"id":1,"method":"status"}',
+                         protocol.E_PROTOCOL)
+
+    def test_shapeless_object_is_invalid(self):
+        self.assert_code(b'{"v":1,"something":"else"}', protocol.E_INVALID)
+
+    def test_request_without_id_is_invalid(self):
+        self.assert_code(b'{"v":1,"method":"status"}', protocol.E_INVALID)
+
+    def test_error_with_unknown_code_is_invalid(self):
+        bad = {"v": 1, "id": 1, "error": {"code": "made_up", "message": "x"}}
+        self.assert_code(json.dumps(bad).encode(), protocol.E_INVALID)
+
+    def test_oversized_encode_refused(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.encode({"v": 1, "event": "e", "job": None,
+                             "data": "x" * protocol.MAX_LINE_BYTES})
+        assert err.value.code == protocol.E_OVERSIZED
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("not_a_code", "boom")
+
+    def test_to_error_carries_request_id(self):
+        err = ProtocolError(protocol.E_BAD_PARAMS, "bad")
+        message = err.to_error(42)
+        assert message["id"] == 42
+        assert message["error"]["code"] == "bad_params"
+
+
+class TestHandshake:
+    def test_hello_event_carries_protocol_and_version(self):
+        hello = protocol.hello_event()
+        data = protocol.check_hello(hello)
+        assert data["protocol"] == protocol.PROTOCOL_VERSION
+        assert data["version"] == protocol.repro_version()
+
+    def test_check_hello_rejects_other_events(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.check_hello(protocol.event("point", data={}))
+        assert err.value.code == protocol.E_INVALID
+
+    def test_check_hello_rejects_version_mismatch(self):
+        hello = protocol.event("hello",
+                               data={"protocol": 99, "version": "9.9.9"})
+        with pytest.raises(ProtocolError) as err:
+            protocol.check_hello(hello)
+        assert err.value.code == protocol.E_PROTOCOL
+
+    def test_repro_version_matches_package(self):
+        from repro import __version__
+
+        assert protocol.repro_version() == __version__

@@ -1,0 +1,181 @@
+"""Job queue: priority order, preemption, cancel/delete, persistence."""
+
+import json
+
+import pytest
+
+from repro.service import queue as jobqueue
+from repro.service.queue import Job, JobQueue
+
+
+def submit(queue, priority=0, name="j"):
+    return queue.submit("search", name, {"preset": name}, priority=priority)
+
+
+class TestOrdering:
+    def test_fifo_within_a_priority(self):
+        queue = JobQueue()
+        first = submit(queue)
+        submit(queue)
+        assert queue.next_runnable() is first
+
+    def test_higher_priority_wins(self):
+        queue = JobQueue()
+        submit(queue, priority=0)
+        urgent = submit(queue, priority=10)
+        assert queue.next_runnable() is urgent
+
+    def test_paused_job_competes_like_queued(self):
+        queue = JobQueue()
+        bulk = submit(queue, priority=5)
+        queue.mark(bulk, jobqueue.RUNNING)
+        queue.mark(bulk, jobqueue.PAUSED)
+        submit(queue, priority=0)
+        assert queue.next_runnable() is bulk
+
+    def test_finished_and_running_jobs_not_offered(self):
+        queue = JobQueue()
+        running = submit(queue)
+        queue.mark(running, jobqueue.RUNNING)
+        done = submit(queue)
+        queue.mark(done, jobqueue.DONE)
+        assert queue.next_runnable() is None
+
+    def test_should_preempt_requires_strictly_higher(self):
+        queue = JobQueue()
+        running = submit(queue, priority=5)
+        queue.mark(running, jobqueue.RUNNING)
+        submit(queue, priority=5)
+        assert not queue.should_preempt(running)
+        submit(queue, priority=6)
+        assert queue.should_preempt(running)
+
+    def test_cancel_requested_job_not_offered(self):
+        queue = JobQueue()
+        job = submit(queue)
+        job.cancel_requested = True
+        assert queue.next_runnable() is None
+
+
+class TestLifecycle:
+    def test_ids_are_monotonic(self):
+        queue = JobQueue()
+        ids = [submit(queue).id for _ in range(3)]
+        assert ids == sorted(ids) and len(set(ids)) == 3
+
+    def test_mark_stamps_times(self):
+        queue = JobQueue()
+        job = submit(queue)
+        assert job.started_at is None
+        queue.mark(job, jobqueue.RUNNING)
+        assert job.started_at is not None and job.finished_at is None
+        queue.mark(job, jobqueue.DONE, summary={"stats": {}})
+        assert job.finished_at is not None
+        assert job.finished
+
+    def test_cancel_queued_is_immediate(self):
+        queue = JobQueue()
+        job = submit(queue)
+        assert queue.cancel(job) == jobqueue.CANCELLED
+        assert job.state == jobqueue.CANCELLED
+
+    def test_cancel_running_is_a_request(self):
+        queue = JobQueue()
+        job = submit(queue)
+        queue.mark(job, jobqueue.RUNNING)
+        assert queue.cancel(job) == "requested"
+        assert job.state == jobqueue.RUNNING and job.cancel_requested
+
+    def test_cancel_finished_rejected(self):
+        queue = JobQueue()
+        job = submit(queue)
+        queue.mark(job, jobqueue.DONE)
+        with pytest.raises(ValueError):
+            queue.cancel(job)
+
+    def test_delete_requires_finished(self):
+        queue = JobQueue()
+        job = submit(queue)
+        with pytest.raises(ValueError):
+            queue.delete(job)
+        queue.mark(job, jobqueue.FAILED, error="boom")
+        queue.delete(job)
+        with pytest.raises(KeyError):
+            queue.get(job.id)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id=1, kind="banana", name="x", spec={})
+
+
+class TestPersistence:
+    def test_state_file_written_atomically_on_mutation(self, tmp_path):
+        path = tmp_path / "state.json"
+        queue = JobQueue(path)
+        submit(queue, name="a")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == jobqueue.STATE_VERSION
+        assert [j["name"] for j in payload["jobs"]] == ["a"]
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_reload_round_trips_jobs(self, tmp_path):
+        path = tmp_path / "state.json"
+        queue = JobQueue(path)
+        job = submit(queue, priority=3, name="a")
+        queue.mark(job, jobqueue.DONE, summary={"stats": {"total": 1}})
+        reloaded = JobQueue.load(path)
+        copy = reloaded.get(job.id)
+        assert copy.state == jobqueue.DONE
+        assert copy.priority == 3
+        assert copy.summary == {"stats": {"total": 1}}
+
+    def test_interrupted_jobs_reload_as_queued(self, tmp_path):
+        path = tmp_path / "state.json"
+        queue = JobQueue(path)
+        running = submit(queue, name="r")
+        queue.mark(running, jobqueue.RUNNING)
+        paused = submit(queue, name="p")
+        queue.mark(paused, jobqueue.RUNNING)
+        queue.mark(paused, jobqueue.PAUSED)
+        reloaded = JobQueue.load(path)
+        assert reloaded.get(running.id).state == jobqueue.QUEUED
+        assert reloaded.get(paused.id).state == jobqueue.QUEUED
+
+    def test_pending_cancel_honoured_on_reload(self, tmp_path):
+        path = tmp_path / "state.json"
+        queue = JobQueue(path)
+        job = submit(queue)
+        queue.mark(job, jobqueue.RUNNING)
+        queue.cancel(job)  # "requested"; the old master died before acting
+        reloaded = JobQueue.load(path)
+        copy = reloaded.get(job.id)
+        assert copy.state == jobqueue.CANCELLED
+        assert not copy.cancel_requested
+
+    def test_ids_stay_monotonic_across_restart(self, tmp_path):
+        path = tmp_path / "state.json"
+        queue = JobQueue(path)
+        old = submit(queue)
+        reloaded = JobQueue.load(path)
+        assert submit(reloaded).id > old.id
+
+    def test_missing_state_file_is_empty_queue(self, tmp_path):
+        queue = JobQueue.load(tmp_path / "never-written.json")
+        assert len(queue) == 0
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"version": 99, "jobs": []}))
+        with pytest.raises(ValueError):
+            JobQueue.load(path)
+
+    def test_unknown_keys_ignored_on_load(self, tmp_path):
+        # Forward compatibility: a newer master's extra per-job keys
+        # must not break an older one reading the same state file.
+        path = tmp_path / "state.json"
+        queue = JobQueue(path)
+        job = submit(queue)
+        payload = json.loads(path.read_text())
+        payload["jobs"][0]["from_the_future"] = True
+        path.write_text(json.dumps(payload))
+        assert JobQueue.load(path).get(job.id).name == job.name
