@@ -1,0 +1,85 @@
+"""E14 — Fast-backend wall-clock speedup on the bench search trial.
+
+Times one quantization-schedule trial (the ``vgg19-cifar10-quant``
+search base at bench width 0.5 / 32x32 inputs, one iteration) on the
+float64 reference backend and on the float32 fast backend, from the
+same seeds.  Each backend is timed ``REPRO_BENCH_REPEATS`` times (the
+host is shared, so the *minimum* is the honest cost of the code) and
+the measured pair is written to ``BENCH_PR8.json`` at the repo root —
+the recorded file is the PR's performance claim.  The test fails if
+the fast path drops under 2x (the CI floor; the recorded measurement
+itself is >5x).
+
+The fast run must also land in the reference run's accuracy
+neighbourhood: a speedup bought with a broken training loop is a bug,
+not a win.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import experiments
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_PR8.json"
+WORKLOAD = {
+    "preset": "vgg19-cifar10-quant",
+    "width_multiplier": 0.5,
+    "image_size": 32,
+    "max_iterations": 1,
+    "epochs_per_iteration": 1,
+}
+MIN_SPEEDUP = 2.0
+
+
+def _trial(backend: str):
+    config = experiments.get_config(WORKLOAD["preset"]).evolve(
+        backend=backend,
+        model={"width_multiplier": WORKLOAD["width_multiplier"],
+               "image_size": WORKLOAD["image_size"]},
+        data={"image_size": WORKLOAD["image_size"]},
+        quant={"max_iterations": WORKLOAD["max_iterations"],
+               "max_epochs_per_iteration": WORKLOAD["epochs_per_iteration"],
+               "min_epochs_per_iteration": WORKLOAD["epochs_per_iteration"]},
+    )
+    start = time.perf_counter()
+    report = experiments.Experiment(config).run()
+    seconds = time.perf_counter() - start
+    return seconds, report.rows[-1].test_accuracy
+
+
+def test_fast_backend_speedup_on_bench_trial():
+    repeats = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "2")))
+    fast_times, reference_times = [], []
+    for _ in range(repeats):
+        seconds, fast_accuracy = _trial("fast")
+        fast_times.append(seconds)
+        seconds, reference_accuracy = _trial("reference")
+        reference_times.append(seconds)
+    fast_seconds = min(fast_times)
+    reference_seconds = min(reference_times)
+    speedup = reference_seconds / fast_seconds
+
+    payload = {
+        "workload": WORKLOAD,
+        "repeats": repeats,
+        "reference_seconds": round(reference_seconds, 3),
+        "fast_seconds": round(fast_seconds, 3),
+        "speedup": round(speedup, 2),
+        "reference_accuracy": round(reference_accuracy, 4),
+        "fast_accuracy": round(fast_accuracy, 4),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"reference: {reference_seconds:6.2f}s  "
+          f"(acc {reference_accuracy:.3f})")
+    print(f"fast:      {fast_seconds:6.2f}s  (acc {fast_accuracy:.3f})")
+    print(f"speedup:   {speedup:.2f}x  -> {BENCH_PATH.name}")
+
+    assert abs(fast_accuracy - reference_accuracy) <= 0.15
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast backend is only {speedup:.2f}x over reference "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

@@ -28,6 +28,10 @@ DATASETS = {
     "synthetic-tinyimagenet": 200,
 }
 OPTIMIZERS = ("adam", "sgd")
+# Mirrors repro.backend.available_backends(); kept static so this module
+# stays import-light (no numpy / training stack at config time).
+BACKENDS = ("reference", "fast")
+DEFAULT_BACKEND = "reference"
 
 
 def _from_dict(cls, payload: dict):
@@ -399,6 +403,7 @@ class ExperimentConfig(_ConfigBase):
     momentum: float = 0.9
     tables: tuple = ()
     description: str = ""
+    backend: str = DEFAULT_BACKEND
 
     _nested = {
         "model": ModelConfig,
@@ -415,6 +420,10 @@ class ExperimentConfig(_ConfigBase):
             raise ValueError(
                 f"unknown optimizer {self.optimizer!r} (choose from {OPTIMIZERS})"
             )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (choose from {BACKENDS})"
+            )
         if self.lr <= 0:
             raise ValueError("lr must be positive")
         if not 0 <= self.momentum < 1:
@@ -429,6 +438,15 @@ class ExperimentConfig(_ConfigBase):
                 f"model.image_size ({self.model.image_size}) must match "
                 f"data.image_size ({self.data.image_size}) for VGG classifiers"
             )
+
+    def to_dict(self) -> dict:
+        out = _to_dict(self)
+        # Omitted when default so every pre-backend config keeps its
+        # historical cache_key() (same trick as QuantConfig.layer_bits) —
+        # and so reference results never cross-contaminate fast ones.
+        if self.backend == DEFAULT_BACKEND:
+            del out["backend"]
+        return out
 
     @property
     def input_shape(self) -> tuple:

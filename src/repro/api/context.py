@@ -320,9 +320,17 @@ def _build_optimizer(config, model):
 
 
 def build_context(config) -> ExperimentContext:
-    """Translate an :class:`ExperimentConfig` into a ready context."""
+    """Translate an :class:`ExperimentConfig` into a ready context.
+
+    Activates ``config.backend`` process-wide *before* building anything,
+    so parameters, buffers and data tensors all materialize in the
+    backend's dtype — including inside sweep/search worker processes,
+    which rebuild contexts from config dicts through this function.
+    """
+    from repro.backend import set_active_backend
     from repro.nn.loss import CrossEntropyLoss
 
+    set_active_backend(getattr(config, "backend", "reference"))
     train_loader, test_loader = _build_data(config)
     model = _build_model(config)
     # Per-layer overrides are validated here, at build time, so a bad

@@ -88,6 +88,12 @@ class Experiment:
         complexity state — while trained weights persist on the model
         (same contract as ``ExperimentRunner.run``).
         """
+        from repro.backend import set_active_backend
+
+        # Re-activate this config's backend: warm contexts are reused
+        # across runs (e.g. by the master service), and another run may
+        # have switched the process-wide backend in between.
+        set_active_backend(getattr(self.config, "backend", "reference"))
         self.context.prepared = False
         persistent = list(self.pipeline.callbacks)
         self.pipeline.callbacks = persistent + list(callbacks)
@@ -124,6 +130,35 @@ def build(name: str, **overrides) -> Experiment:
     if overrides:
         config = config.evolve(**overrides)
     return Experiment(config)
+
+
+def apply_backend(kind: str, preset, backend: str | None):
+    """Return ``preset`` retargeted onto ``backend`` (no-op when None).
+
+    ``kind`` follows :func:`resolve_any`: a ``"run"`` config evolves its
+    ``backend`` field, a ``"sweep"`` gains a one-value ``backend`` axis
+    (which works for both ``base``- and ``presets``-form sweeps and
+    shows up in point labels/cache keys), and a ``"search"`` evolves its
+    base config — resolving a preset-form search to its concrete config
+    first.  Used by the CLI ``--backend`` flags and the master's
+    server-side spec resolution.
+    """
+    if backend is None:
+        return preset
+    if kind == "run":
+        return preset.evolve(backend=backend)
+    if kind == "sweep":
+        import dataclasses
+
+        from repro.orchestration.sweep import SweepAxis
+
+        return dataclasses.replace(
+            preset, axes=tuple(preset.axes) + (SweepAxis("backend", (backend,)),)
+        )
+    if kind == "search":
+        base = preset.base if preset.base is not None else get_config(preset.preset)
+        return preset.evolve(base=base.evolve(backend=backend), preset="")
+    raise ValueError(f"unknown preset kind {kind!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -10,56 +10,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
-
-
-def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a convolution/pooling window sweep."""
-    out = (size + 2 * padding - kernel) // stride + 1
-    if out <= 0:
-        raise ValueError(
-            f"convolution produces non-positive output size for input={size}, "
-            f"kernel={kernel}, stride={stride}, padding={padding}"
-        )
-    return out
+from repro.backend import active_backend
+from repro.backend._im2col import conv_output_size, im2col_indices
 
 
 def _im2col_indices(height, width, kernel, stride, padding):
     """Index arrays that gather conv patches into a matrix."""
-    out_h = conv_output_size(height, kernel, stride, padding)
-    out_w = conv_output_size(width, kernel, stride, padding)
-    i0 = np.repeat(np.arange(kernel), kernel)
-    j0 = np.tile(np.arange(kernel), kernel)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    return rows, cols, out_h, out_w
+    return im2col_indices(height, width, kernel, stride, padding)
 
 
 def im2col(x: np.ndarray, kernel: int, stride: int, padding: int):
-    """Rearrange (N, C, H, W) into (C*k*k, N*out_h*out_w) patch columns."""
-    n, c, h, w = x.shape
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    rows, cols, out_h, out_w = _im2col_indices(h, w, kernel, stride, padding)
-    # Shape: (N, C, k*k, out_h*out_w)
-    patches = x[:, :, rows, cols]
-    # -> (C, k*k, N, out_h*out_w) -> (C*k*k, N*out_h*out_w)
-    patches = patches.transpose(1, 2, 0, 3).reshape(c * kernel * kernel, -1)
-    return patches, out_h, out_w
+    """Rearrange (N, C, H, W) into (C*k*k, N*out_h*out_w) patch columns.
+
+    Dispatches to the active backend's kernel (dtype-preserving on both;
+    the fast backend uses an ``as_strided`` gather).
+    """
+    return active_backend().im2col(x, kernel, stride, padding)
 
 
 def col2im(cols: np.ndarray, x_shape, kernel: int, stride: int, padding: int):
-    """Adjoint of :func:`im2col`: scatter patch columns back, accumulating."""
-    n, c, h, w = x_shape
-    h_pad, w_pad = h + 2 * padding, w + 2 * padding
-    x_padded = np.zeros((n, c, h_pad, w_pad))
-    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kernel, stride, padding)
-    reshaped = cols.reshape(c, kernel * kernel, n, out_h * out_w).transpose(2, 0, 1, 3)
-    np.add.at(x_padded, (slice(None), slice(None), rows, cols_idx), reshaped)
-    if padding > 0:
-        return x_padded[:, :, padding:-padding, padding:-padding]
-    return x_padded
+    """Adjoint of :func:`im2col`: scatter patch columns back, accumulating.
+
+    Dispatches to the active backend's kernel.
+    """
+    return active_backend().col2im(cols, x_shape, kernel, stride, padding)
 
 
 def conv2d(
@@ -77,9 +51,10 @@ def conv2d(
     if in_channels != c:
         raise ValueError(f"input has {c} channels, weight expects {in_channels}")
 
-    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    backend = active_backend()
+    cols, out_h, out_w = backend.im2col(x.data, kernel, stride, padding)
     w_mat = weight.data.reshape(out_channels, -1)
-    out = w_mat @ cols  # (O, N*out_h*out_w)
+    out = backend.matmul(w_mat, cols)  # (O, N*out_h*out_w)
     out = out.reshape(out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
     if bias is not None:
         out = out + bias.data.reshape(1, -1, 1, 1)
@@ -89,9 +64,9 @@ def conv2d(
     def backward(grad):
         # grad: (N, O, out_h, out_w)
         grad_mat = grad.transpose(1, 0, 2, 3).reshape(out_channels, -1)
-        grad_w = (grad_mat @ cols.T).reshape(weight.data.shape)
-        grad_cols = w_mat.T @ grad_mat
-        grad_x = col2im(grad_cols, x.data.shape, kernel, stride, padding)
+        grad_w = backend.matmul(grad_mat, cols.T).reshape(weight.data.shape)
+        grad_cols = backend.matmul(w_mat.T, grad_mat)
+        grad_x = backend.col2im(grad_cols, x.data.shape, kernel, stride, padding)
         if bias is None:
             return (grad_x, grad_w)
         grad_b = grad.sum(axis=(0, 2, 3))

@@ -69,7 +69,11 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError("dropout probability must be in [0, 1)")
-    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    # The keep-mask is drawn in float64 (identical random stream on every
+    # backend) and cast to the tensor dtype before scaling so a float32
+    # run is not silently promoted back to float64.
+    keep = (rng.random(x.data.shape) >= p).astype(x.data.dtype)
+    mask = keep / (1.0 - p)
     out = x.data * mask
 
     def backward(grad):

@@ -19,6 +19,8 @@ import threading
 
 import numpy as np
 
+from repro.backend import active_backend
+
 _GRAD_STATE = threading.local()
 
 
@@ -63,9 +65,7 @@ def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 
 
 def _as_array(value) -> np.ndarray:
-    if isinstance(value, np.ndarray):
-        return value.astype(np.float64, copy=False)
-    return np.asarray(value, dtype=np.float64)
+    return active_backend().asarray(value)
 
 
 class Tensor:
@@ -74,7 +74,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64``.
+        Array-like payload; converted to the active backend's floating
+        dtype (float64 on ``reference``, float32 on ``fast``).
     requires_grad:
         When True, operations involving this tensor build a backward graph
         and :meth:`backward` fills :attr:`grad`.
@@ -96,11 +97,11 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(active_backend().zeros(shape), requires_grad=requires_grad)
 
     @staticmethod
     def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(active_backend().ones(shape), requires_grad=requires_grad)
 
     @staticmethod
     def from_op(data: np.ndarray, parents: tuple, backward, op: str = "") -> "Tensor":
@@ -298,15 +299,16 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data @ other.data
+        backend = active_backend()
+        out_data = backend.matmul(self.data, other.data)
 
         def backward(grad):
             a, b = self.data, other.data
             if a.ndim == 2 and b.ndim == 2:
-                return (grad @ b.T, a.T @ grad)
+                return (backend.matmul(grad, b.T), backend.matmul(a.T, grad))
             # General batched case.
-            grad_a = grad @ np.swapaxes(b, -1, -2)
-            grad_b = np.swapaxes(a, -1, -2) @ grad
+            grad_a = backend.matmul(grad, np.swapaxes(b, -1, -2))
+            grad_b = backend.matmul(np.swapaxes(a, -1, -2), grad)
             return (
                 unbroadcast(grad_a, a.shape),
                 unbroadcast(grad_b, b.shape),
@@ -423,8 +425,10 @@ class Tensor:
                 expanded = np.expand_dims(out_data, axis=axis)
             mask = self.data == expanded
             # Split gradient equally among ties, matching numpy semantics
-            # closely enough for pooling/softmax stability use.
-            counts = mask.sum(axis=axis, keepdims=True)
+            # closely enough for pooling/softmax stability use.  The tie
+            # counts are cast to the gradient dtype: int64 operands would
+            # otherwise promote a float32 gradient to float64.
+            counts = mask.sum(axis=axis, keepdims=True).astype(g.dtype)
             return (mask * g / counts,)
 
         return Tensor.from_op(out_data, (self,), backward, "max")
@@ -484,7 +488,7 @@ class Tensor:
         shape = self.data.shape
 
         def backward(grad):
-            full = np.zeros(shape)
+            full = np.zeros(shape, dtype=grad.dtype)
             np.add.at(full, index, grad)
             return (full,)
 

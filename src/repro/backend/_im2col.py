@@ -1,0 +1,136 @@
+"""Shared im2col/col2im kernels used by the array backends.
+
+This module is intentionally free of any :mod:`repro.autograd` import:
+the backends own the conv lowering, and the autograd conv ops dispatch
+to the active backend.  Two families live here:
+
+* the *reference* kernels — the seed implementation, bit-for-bit:
+  fancy-indexing gather for ``im2col`` and a buffered ``np.add.at``
+  scatter for ``col2im`` (float64 semantics come from the caller's
+  arrays, not from this module);
+* the *fast* kernels — a zero-copy ``as_strided`` window view feeding
+  one contiguous reshape for ``im2col``, and a k*k strided-slice
+  accumulation for ``col2im`` that replaces ``np.add.at`` (whose
+  buffered fancy-indexing path dominates conv backward wall-clock).
+
+Both families are dtype-preserving: padding and scatter targets are
+allocated with the input's dtype, never numpy's float64 default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col_indices(height, width, kernel, stride, padding):
+    """Index arrays that gather conv patches into a matrix."""
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    i0 = np.repeat(np.arange(kernel), kernel)
+    j0 = np.tile(np.arange(kernel), kernel)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    return rows, cols, out_h, out_w
+
+
+# ---------------------------------------------------------------------------
+# Reference kernels (seed semantics).
+# ---------------------------------------------------------------------------
+
+def im2col_reference(x: np.ndarray, kernel: int, stride: int, padding: int):
+    """Rearrange (N, C, H, W) into (C*k*k, N*out_h*out_w) patch columns."""
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    rows, cols, out_h, out_w = im2col_indices(h, w, kernel, stride, padding)
+    # Shape: (N, C, k*k, out_h*out_w)
+    patches = x[:, :, rows, cols]
+    # -> (C, k*k, N, out_h*out_w) -> (C*k*k, N*out_h*out_w)
+    patches = patches.transpose(1, 2, 0, 3).reshape(c * kernel * kernel, -1)
+    return patches, out_h, out_w
+
+
+def col2im_reference(cols: np.ndarray, x_shape, kernel: int, stride: int,
+                     padding: int) -> np.ndarray:
+    """Adjoint of im2col: scatter patch columns back, accumulating."""
+    n, c, h, w = x_shape
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    x_padded = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    rows, cols_idx, out_h, out_w = im2col_indices(h, w, kernel, stride, padding)
+    reshaped = cols.reshape(c, kernel * kernel, n, out_h * out_w).transpose(2, 0, 1, 3)
+    np.add.at(x_padded, (slice(None), slice(None), rows, cols_idx), reshaped)
+    if padding > 0:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded
+
+
+# ---------------------------------------------------------------------------
+# Fast kernels.
+# ---------------------------------------------------------------------------
+
+def im2col_strided(x: np.ndarray, kernel: int, stride: int, padding: int):
+    """im2col via an ``as_strided`` window view + one contiguous reshape.
+
+    The view costs nothing; the reshape performs the single gather copy
+    that hands BLAS a C-contiguous (C*k*k, N*out_h*out_w) matrix.  The
+    column ordering matches :func:`im2col_reference` exactly (row-major
+    within the k*k patch, output positions row-major).
+    """
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    cols = windows.transpose(1, 2, 3, 0, 4, 5).reshape(
+        c * kernel * kernel, n * out_h * out_w
+    )
+    return cols, out_h, out_w
+
+
+def col2im_sliced(cols: np.ndarray, x_shape, kernel: int, stride: int,
+                  padding: int) -> np.ndarray:
+    """col2im as k*k strided-slice accumulations (no ``np.add.at``).
+
+    For each of the k*k positions inside the patch, all output windows
+    touch *distinct* input pixels, so a vectorized ``+=`` on a strided
+    slice is exact; overlap between positions accumulates across the
+    k*k loop iterations.  Orders of magnitude faster than the buffered
+    fancy-indexing scatter for the 3x3 kernels that dominate the paper's
+    workloads.
+    """
+    n, c, h, w = x_shape
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    x_padded = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    patches = cols.reshape(c, kernel, kernel, n, out_h, out_w)
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            x_padded[:, :, i:i_end:stride, j:j_end:stride] += (
+                patches[:, i, j].transpose(1, 0, 2, 3)
+            )
+    if padding > 0:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded

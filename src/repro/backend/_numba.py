@@ -1,0 +1,52 @@
+"""Optional numba acceleration, behind a feature probe.
+
+The fast backend asks this module for jitted kernels; when numba is not
+importable (the common case — it is not a dependency) every accessor
+returns None and the caller falls back to the vectorized numpy path.
+Nothing outside this module may import numba directly.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default environment
+    numba = None
+    HAVE_NUMBA = False
+
+_KERNELS: dict = {}
+
+
+def _build_kernels():  # pragma: no cover - requires numba
+    """Compile the jitted hot loops once, lazily."""
+    jit = numba.njit(cache=True, fastmath=True)
+
+    @jit
+    def sgd_momentum(param, grad, velocity, lr, momentum, weight_decay):
+        p = param.ravel()
+        g = grad.ravel()
+        vel = velocity.ravel()
+        for i in range(p.size):
+            gi = g[i] + weight_decay * p[i]
+            vel[i] = momentum * vel[i] + gi
+            p[i] -= lr * vel[i]
+
+    @jit
+    def fused_fake_quant(x, out, lo, scale, inv_scale):
+        xf = x.ravel()
+        of = out.ravel()
+        for i in range(xf.size):
+            of[i] = round((xf[i] - lo) * scale) * inv_scale + lo
+
+    return {"sgd_momentum": sgd_momentum, "fused_fake_quant": fused_fake_quant}
+
+
+def get_kernel(name: str):
+    """Return the jitted kernel ``name``, or None when numba is absent."""
+    if not HAVE_NUMBA:
+        return None
+    if not _KERNELS:  # pragma: no cover - requires numba
+        _KERNELS.update(_build_kernels())
+    return _KERNELS.get(name)  # pragma: no cover - requires numba

@@ -1,0 +1,106 @@
+"""The ``ArrayBackend`` seam: dtype policy + hot-path array kernels.
+
+A backend owns every decision the autograd/nn/quant stack used to make
+by calling ``np.*`` directly:
+
+* the floating dtype (``float64`` for the reference engine, ``float32``
+  for the fast path) and all array creation/coercion;
+* the conv lowering (im2col gather, col2im scatter, matmul dispatch);
+* the fused hot loops — fake-quant round-clip and the SGD/Adam
+  parameter updates — which the fast backend collapses into in-place
+  chains (optionally jitted via numba when it is importable).
+
+Backends are registered by name in :mod:`repro.backend` and selected
+via ``ExperimentConfig.backend`` / ``repro ... --backend``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ArrayBackend:
+    """Base class for array backends.
+
+    Subclasses set :attr:`name` and :attr:`dtype` and may override any
+    kernel.  The base implementations are dtype-generic and correct, so
+    a backend only overrides what it wants to specialize.
+    """
+
+    name: str = "base"
+    dtype: np.dtype = np.dtype(np.float64)
+
+    # ------------------------------------------------------------------
+    # dtype policy / array creation
+    # ------------------------------------------------------------------
+    def asarray(self, value) -> np.ndarray:
+        """Coerce ``value`` to this backend's floating dtype (no copy if possible)."""
+        if isinstance(value, np.ndarray):
+            return value.astype(self.dtype, copy=False)
+        return np.asarray(value, dtype=self.dtype)
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.dtype)
+
+    def ones(self, shape) -> np.ndarray:
+        return np.ones(shape, dtype=self.dtype)
+
+    def full(self, shape, fill_value) -> np.ndarray:
+        return np.full(shape, fill_value, dtype=self.dtype)
+
+    def zeros_like(self, x: np.ndarray) -> np.ndarray:
+        return np.zeros_like(x)
+
+    def rng_array(self, value) -> np.ndarray:
+        """Cast an rng-produced float64 array to the backend dtype.
+
+        Kept separate from :meth:`asarray` so it is explicit that random
+        streams are always *drawn* in float64 (identical sequences on
+        every backend) and only then narrowed.
+        """
+        return value.astype(self.dtype, copy=False)
+
+    # ------------------------------------------------------------------
+    # Linear algebra / conv lowering
+    # ------------------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def im2col(self, x: np.ndarray, kernel: int, stride: int, padding: int):
+        raise NotImplementedError
+
+    def col2im(self, cols: np.ndarray, x_shape, kernel: int, stride: int,
+               padding: int) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Fused hot loops
+    # ------------------------------------------------------------------
+    def fake_quant(self, x: np.ndarray, quantizer) -> np.ndarray:
+        """Quantize-dequantize ``x`` through ``quantizer`` (eqn. 1)."""
+        raise NotImplementedError
+
+    def sgd_update(self, param: np.ndarray, grad: np.ndarray,
+                   velocity: np.ndarray | None, lr: float, momentum: float,
+                   weight_decay: float) -> np.ndarray:
+        """One SGD(+momentum, +weight decay) step; returns the new param array.
+
+        ``velocity`` is mutated in place when momentum is active (it is
+        the optimizer's slot buffer).  Whether ``param`` itself is
+        updated in place is backend-defined — callers must rebind
+        ``param.data`` to the return value.
+        """
+        raise NotImplementedError
+
+    def adam_update(self, param: np.ndarray, grad: np.ndarray,
+                    m: np.ndarray, v: np.ndarray, lr: float, beta1: float,
+                    beta2: float, eps: float, weight_decay: float,
+                    bias1: float, bias2: float) -> np.ndarray:
+        """One bias-corrected Adam step; returns the new param array.
+
+        ``m``/``v`` are the optimizer's moment buffers, mutated in place.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} dtype={self.dtype}>"

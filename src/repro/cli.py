@@ -11,6 +11,7 @@ Usage::
     python -m repro search --preset search-vgg19-bits --out search.json
     python -m repro search --preset search-vgg19-layer-bits --out layers.json
     python -m repro search --preset search-smoke-bits --strategy layer-bits
+    python -m repro run --preset vgg11-micro-smoke --backend fast
     python -m repro cache export --out cache.tgz
     python -m repro cache merge /mnt/hostb/.repro-cache
     python -m repro merge-sweeps s0.json s1.json --out merged.json
@@ -167,6 +168,8 @@ def _schedule_overrides(args) -> dict:
     if args.seed is not None:
         overrides["model"] = {"seed": args.seed}
         overrides["data"] = {"seed": args.seed}
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     return overrides
 
 
@@ -418,6 +421,8 @@ def _resolve_sweep(args):
             seeds=seeds,
             description=sweep.description,
         )
+        sweep = experiments.apply_backend("sweep", sweep,
+                                          getattr(args, "backend", None))
         from repro.orchestration import expand
 
         return sweep, expand(sweep)
@@ -621,6 +626,8 @@ def _resolve_search(args):
             )
         if overrides:
             search = search.evolve(**overrides)
+        search = experiments.apply_backend("search", search,
+                                           getattr(args, "backend", None))
         return search
     except CLIError:
         raise
@@ -870,7 +877,8 @@ def _cmd_submit(args) -> int:
     with _service_client(args) as client:
         try:
             result = client.submit(preset=args.preset, config=config,
-                                   kind=args.kind, priority=args.priority)
+                                   kind=args.kind, priority=args.priority,
+                                   backend=args.backend)
         except MasterError as error:
             raise CLIError(_clean_message(error)) from error
     if not args.quiet:
@@ -1051,6 +1059,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override min_epochs_per_iteration")
     run.add_argument("--initial-bits", type=int, dest="initial_bits")
     run.add_argument("--final-epochs", type=int, dest="final_epochs")
+    run.add_argument("--backend", choices=("reference", "fast"),
+                     help="tensor backend: float64 reference (default) or "
+                          "the float32 fast path")
     run.add_argument("--cache", action=argparse.BooleanOptionalAction,
                      default=False,
                      help="reuse/store results in the content-addressed cache")
@@ -1078,6 +1089,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", help="comma-separated seed list shorthand")
     sweep.add_argument("--mode", choices=("grid", "zip"),
                        help="axis combination (default: the sweep's own)")
+    sweep.add_argument("--backend", choices=("reference", "fast"),
+                       help="pin every point to one tensor backend "
+                            "(adds a single-value backend axis)")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="parallel worker processes (default 1 = serial)")
     sweep.add_argument("--shard",
@@ -1120,6 +1134,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed-trials", type=int, dest="seed_trials",
                         help="layer-bits only: trials spent on the scalar "
                              "AD seed phase (default: half the budget)")
+    search.add_argument("--backend", choices=("reference", "fast"),
+                        help="tensor backend for every trial (default: "
+                             "the base config's own)")
     search.add_argument("--jobs", type=int, default=1,
                         help="parallel workers (halving rungs fan out; "
                              "the AD search is inherently sequential)")
@@ -1215,6 +1232,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", type=int, default=0,
                         help="higher preempts lower between scheduler "
                              "rounds (default 0)")
+    submit.add_argument("--backend", choices=("reference", "fast"),
+                        help="tensor backend applied server-side to the "
+                             "resolved job")
     submit.set_defaults(func=_cmd_submit)
 
     status = sub.add_parser("status", help="show the master's job queue")
@@ -1269,6 +1289,7 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--min-epochs", type=int, dest="min_epochs")
     show.add_argument("--initial-bits", type=int, dest="initial_bits")
     show.add_argument("--final-epochs", type=int, dest="final_epochs")
+    show.add_argument("--backend", choices=("reference", "fast"))
     show.set_defaults(func=_cmd_show)
 
     return parser

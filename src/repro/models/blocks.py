@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.backend import active_backend
 from repro.density import ActivationDensityMeter
 from repro.nn import BatchNorm2d, Conv2d, Linear, Module
 from repro.quant import FakeQuantize
@@ -80,7 +81,7 @@ class ConvUnit(Module):
         self.bn = BatchNorm2d(out_channels) if batch_norm else None
         self.act_quant: FakeQuantize | None = None
         self.meter = ActivationDensityMeter(name)
-        self.register_buffer("channel_mask", np.ones(out_channels))
+        self.register_buffer("channel_mask", active_backend().ones(out_channels))
         self.enabled = True  # iteration 2a of Table II removes a layer
         # Geometry captured on forward, consumed by the energy models.
         self.last_input_hw: tuple[int, int] | None = None
@@ -96,7 +97,7 @@ class ConvUnit(Module):
         return int(self.channel_mask.sum())
 
     def set_channel_mask(self, mask: np.ndarray) -> None:
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = active_backend().asarray(np.asarray(mask))
         if mask.shape != (self.conv.out_channels,):
             raise ValueError("mask shape must equal (out_channels,)")
         if not np.all((mask == 0) | (mask == 1)):

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.backend import active_backend
 from repro.autograd.conv import global_avg_pool2d
 from repro.density import ActivationDensityMeter
 from repro.models.blocks import ConvUnit, LinearUnit, MeasurementContext
@@ -69,7 +70,7 @@ class BasicBlock(Module):
         # Destination-layer instrumentation (post-add ReLU output).
         self.act_quant: FakeQuantize | None = None
         self.meter = ActivationDensityMeter(f"{name}.conv2")
-        self.register_buffer("channel_mask", np.ones(out_channels))
+        self.register_buffer("channel_mask", active_backend().ones(out_channels))
 
     # ------------------------------------------------------------------
     # Pruning-mask host protocol (see LayerHandle)
@@ -82,7 +83,7 @@ class BasicBlock(Module):
         return int(self.channel_mask.sum())
 
     def set_channel_mask(self, mask: np.ndarray) -> None:
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = active_backend().asarray(np.asarray(mask))
         if mask.shape != (self.out_channels,):
             raise ValueError("mask shape must equal (out_channels,)")
         if not np.all((mask == 0) | (mask == 1)):

@@ -3,11 +3,17 @@
 All initializers take an explicit ``rng`` so experiments are reproducible
 end to end; the paper initializes models "with random weights" and we fix
 seeds per experiment config.
+
+Random draws always happen in float64 — the generator stream is therefore
+identical on every backend — and are then narrowed to the active
+backend's dtype, so a float32 run cannot mix float64 parameters.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.backend import active_backend
 
 
 def _fan_in_fan_out(shape: tuple) -> tuple[int, int]:
@@ -27,33 +33,33 @@ def kaiming_normal(shape: tuple, rng: np.random.Generator, gain: float = np.sqrt
     """He-normal initialization suited to ReLU networks."""
     fan_in, _ = _fan_in_fan_out(shape)
     std = gain / np.sqrt(fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return active_backend().rng_array(rng.normal(0.0, std, size=shape))
 
 
 def kaiming_uniform(shape: tuple, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
     """He-uniform initialization."""
     fan_in, _ = _fan_in_fan_out(shape)
     bound = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return active_backend().rng_array(rng.uniform(-bound, bound, size=shape))
 
 
 def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot-normal initialization."""
     fan_in, fan_out = _fan_in_fan_out(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return active_backend().rng_array(rng.normal(0.0, std, size=shape))
 
 
 def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot-uniform initialization."""
     fan_in, fan_out = _fan_in_fan_out(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return active_backend().rng_array(rng.uniform(-bound, bound, size=shape))
 
 
 def zeros(shape: tuple) -> np.ndarray:
-    return np.zeros(shape)
+    return active_backend().zeros(shape)
 
 
 def ones(shape: tuple) -> np.ndarray:
-    return np.ones(shape)
+    return active_backend().ones(shape)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd import conv as conv_ops
 from repro.autograd import functional as F
+from repro.backend import active_backend
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -128,10 +129,13 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.gamma = Parameter(np.ones(num_features))
-        self.beta = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        backend = active_backend()
+        self.gamma = Parameter(backend.ones(num_features))
+        self.beta = Parameter(backend.zeros(num_features))
+        # Running stats follow the backend dtype: float64 buffers would
+        # otherwise promote every eval-mode forward under a float32 run.
+        self.register_buffer("running_mean", backend.zeros(num_features))
+        self.register_buffer("running_var", backend.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.data.ndim != 4:

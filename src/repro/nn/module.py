@@ -12,6 +12,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.backend import active_backend
 
 
 class Parameter(Tensor):
@@ -133,7 +134,7 @@ class Module:
                         f"shape mismatch for {name}: "
                         f"{params[name].data.shape} vs {value.shape}"
                     )
-                params[name].data = np.array(value, dtype=np.float64)
+                params[name].data = np.array(value, dtype=active_backend().dtype)
             else:
                 missing.append(name)
         # Buffers live on possibly nested modules; walk and assign.
@@ -145,7 +146,9 @@ class Module:
         for name in list(missing):
             if name in buffer_owners:
                 module, buf_name = buffer_owners[name]
-                module._set_buffer(buf_name, np.array(state[name]))
+                module._set_buffer(
+                    buf_name, np.array(state[name], dtype=active_backend().dtype)
+                )
                 missing.remove(name)
         if missing:
             raise KeyError(f"unknown entries in state dict: {missing}")

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.nn.module import Parameter
 
 
@@ -71,17 +72,18 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        backend = active_backend()
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
-                grad = velocity
-            param.data = param.data - self.lr * grad
+            param.data = backend.sgd_update(
+                param.data,
+                param.grad,
+                velocity,
+                self.lr,
+                self.momentum,
+                self.weight_decay,
+            )
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         return {f"velocity.{i}": v for i, v in enumerate(self._velocity)}
@@ -110,22 +112,26 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        backend = active_backend()
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
         for param, m, v in zip(self.parameters, self._m, self._v):
             if param.grad is None:
                 continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data = backend.adam_update(
+                param.data,
+                param.grad,
+                m,
+                v,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.weight_decay,
+                bias1,
+                bias2,
+            )
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         out = {f"m.{i}": m for i, m in enumerate(self._m)}

@@ -87,11 +87,18 @@ class ResultCache:
         return None if entry is None else entry["payload"]
 
     def store(self, config, payload: dict) -> Path:
-        """Atomically persist ``payload`` as the result of ``config``."""
+        """Atomically persist ``payload`` as the result of ``config``.
+
+        The entry records which tensor backend produced it (informational
+        — the key already encodes a non-default ``backend`` through
+        ``config.to_dict()``, so entries from different backends never
+        collide).
+        """
         return self.write_entry({
             "version": CACHE_VERSION,
             "key": config.cache_key(),
             "config": config.to_dict(),
+            "backend": getattr(config, "backend", "reference"),
             "payload": payload,
         })
 

@@ -12,12 +12,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.backend import active_backend
 from repro.quant.quantizer import UniformQuantizer
 
 
 def STEQuantFunction(x: Tensor, quantizer: UniformQuantizer) -> Tensor:
-    """Apply ``quantizer.fake_quant`` with a straight-through gradient."""
-    out_data = quantizer.fake_quant(x.data)
+    """Apply ``quantizer.fake_quant`` with a straight-through gradient.
+
+    The quantize-dequantize kernel is backend-dispatched: the reference
+    backend runs the quantizer's float64 int-code round-trip, the fast
+    backend a fused float32 round-scale-shift.
+    """
+    out_data = active_backend().fake_quant(x.data, quantizer)
 
     def backward(grad):
         return (grad,)
@@ -63,9 +69,10 @@ class FakeQuantize:
 
     def fake_quant_array(self, x: np.ndarray) -> np.ndarray:
         """Numpy-level fake quantization (no autograd), for analysis."""
+        backend = active_backend()
         if not self.enabled:
-            return np.asarray(x, dtype=np.float64)
-        return self._quantizer.fake_quant(x)
+            return backend.asarray(x)
+        return backend.fake_quant(x, self._quantizer)
 
     def __repr__(self) -> str:
         state = f"{self.bits}b" if self.enabled else "disabled"

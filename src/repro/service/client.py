@@ -142,7 +142,8 @@ class MasterClient:
         return self.call("hello")
 
     def submit(self, preset: str | None = None, config: dict | None = None,
-               kind: str | None = None, priority: int = 0) -> dict:
+               kind: str | None = None, priority: int = 0,
+               backend: str | None = None) -> dict:
         params: dict = {"priority": priority}
         if preset is not None:
             params["preset"] = preset
@@ -150,6 +151,8 @@ class MasterClient:
             params["config"] = config
         if kind is not None:
             params["kind"] = kind
+        if backend is not None:
+            params["backend"] = backend
         return self.call("submit", params)
 
     def status(self, job: int | None = None) -> dict:

@@ -113,18 +113,23 @@ def resolve_spec(spec: dict) -> tuple:
     (search, then sweep, then experiment — see
     :func:`repro.api.experiments.resolve_any`); ``{"config": {...}}``
     carries the config dict inline with an optional explicit
-    ``"kind"``.
+    ``"kind"``.  An optional ``"backend"`` key pins the job to one
+    tensor backend (applied server-side to the resolved payload via
+    :func:`repro.api.experiments.apply_backend`, so a restarted master
+    re-applies it when it re-offers the persisted spec).
     """
     if not isinstance(spec, dict):
         raise ValueError("submission spec must be an object")
     preset = spec.get("preset")
     config = spec.get("config")
+    backend = spec.get("backend")
     if (preset is None) == (config is None):
         raise ValueError("spec needs exactly one of 'preset' / 'config'")
     if preset is not None:
         from repro.api import experiments
 
         kind, payload = experiments.resolve_any(preset)
+        payload = experiments.apply_backend(kind, payload, backend)
         return kind, preset, payload
     kind = spec.get("kind") or detect_config_kind(config)
     if kind not in jobqueue.JOB_KINDS:
@@ -132,6 +137,17 @@ def resolve_spec(spec: dict) -> tuple:
             f"unknown job kind {kind!r} (choose from {jobqueue.JOB_KINDS})"
         )
     name = config.get("name") if isinstance(config, dict) else None
+    if backend is not None:
+        from repro.api import experiments
+        from repro.api.config import ExperimentConfig
+        from repro.orchestration.search import SearchConfig
+        from repro.orchestration.sweep import SweepConfig
+
+        typed = {"run": ExperimentConfig, "sweep": SweepConfig,
+                 "search": SearchConfig}[kind]
+        config = experiments.apply_backend(
+            kind, typed.from_dict(config), backend
+        )
     return kind, name or f"inline-{kind}", config
 
 
@@ -500,7 +516,8 @@ class Master:
                 "version": protocol.repro_version()}
 
     def _rpc_submit(self, params, writer, request_id):
-        spec = {key: params[key] for key in ("preset", "config", "kind")
+        spec = {key: params[key]
+                for key in ("preset", "config", "kind", "backend")
                 if key in params}
         priority = params.get("priority", 0)
         if not isinstance(priority, int):

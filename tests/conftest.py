@@ -7,6 +7,20 @@ from repro.data import ArrayDataset, DataLoader
 from repro.models import resnet18, vgg11
 
 
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    """Restore the reference backend after every test.
+
+    ``build_context`` / ``Experiment.run`` activate the config's backend
+    process-wide; a test that ran something on the fast backend must not
+    leak float32 array creation into the next test.
+    """
+    yield
+    from repro.backend import set_active_backend
+
+    set_active_backend("reference")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)
