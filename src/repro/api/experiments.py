@@ -161,6 +161,24 @@ def apply_backend(kind: str, preset, backend: str | None):
     raise ValueError(f"unknown preset kind {kind!r}")
 
 
+def apply_speculation(kind: str, preset, speculate: int | None):
+    """Return ``preset`` with speculative execution set (no-op when None).
+
+    Only ``"search"`` jobs speculate — the knob races a sequential
+    search's likely next trials on idle workers, bit-identically (see
+    :class:`~repro.orchestration.search.SpeculativeScheduler`) — so any
+    other kind refuses rather than silently dropping the request.  Used
+    by the master's server-side ``submit`` spec resolution.
+    """
+    if speculate is None:
+        return preset
+    if kind != "search":
+        raise ValueError(
+            f"speculate only applies to search jobs, not {kind!r}"
+        )
+    return preset.evolve(speculation=speculate)
+
+
 # ---------------------------------------------------------------------------
 # Sweep presets — the paper's grids (Tables II/III across models/seeds)
 # and the DESIGN §5 ablation grids, runnable via `repro sweep --preset`.

@@ -569,6 +569,16 @@ def _cache_note(stats: dict) -> str:
             f"{stats['cache_misses']} miss(es)")
 
 
+def _speculation_note(stats: dict) -> str:
+    """The summary-line suffix surfacing speculative-execution activity."""
+    if "speculated" not in stats:
+        return ""
+    return (f"; speculation: {stats['confirmed']} of "
+            f"{stats['speculated']} bet(s) confirmed, "
+            f"{stats['cancelled']} cancelled, "
+            f"{stats['wasted_trials']} wasted trial(s)")
+
+
 # ---------------------------------------------------------------------------
 # Adaptive searches
 # ---------------------------------------------------------------------------
@@ -626,6 +636,15 @@ def _resolve_search(args):
             )
         if overrides:
             search = search.evolve(**overrides)
+        if getattr(args, "speculate", None) is not None:
+            if search.strategy == "halving":
+                raise CLIError(
+                    "--speculate only applies to ad-bits/layer-bits "
+                    "searches; halving rungs already fan out under --jobs"
+                )
+            if args.speculate < 0:
+                raise CLIError("--speculate must be >= 0")
+            search = search.evolve(speculation=args.speculate)
         search = experiments.apply_backend("search", search,
                                            getattr(args, "backend", None))
         return search
@@ -719,7 +738,7 @@ def _cmd_search(args) -> int:
         print(
             f"trials: {stats['total']} (executed {stats['executed']}, "
             f"cached {stats['cached']}, failed {stats['failed']})"
-            + _cache_note(stats)
+            + _cache_note(stats) + _speculation_note(stats)
         )
         if args.out:
             print(f"search results written to {args.out}")
@@ -878,7 +897,8 @@ def _cmd_submit(args) -> int:
         try:
             result = client.submit(preset=args.preset, config=config,
                                    kind=args.kind, priority=args.priority,
-                                   backend=args.backend)
+                                   backend=args.backend,
+                                   speculate=args.speculate)
         except MasterError as error:
             raise CLIError(_clean_message(error)) from error
     if not args.quiet:
@@ -950,7 +970,8 @@ def _cmd_watch(args) -> int:
         line += (f" — {stats.get('total', 0)} point(s), "
                  f"{stats.get('executed', 0)} run, "
                  f"{stats.get('cached', 0)} cached, "
-                 f"{stats.get('failed', 0)} failed" + _cache_note(stats))
+                 f"{stats.get('failed', 0)} failed"
+                 + _cache_note(stats) + _speculation_note(stats))
     if final.get("error"):
         line += f" — {final['error']}"
     print(line)
@@ -1138,8 +1159,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tensor backend for every trial (default: "
                              "the base config's own)")
     search.add_argument("--jobs", type=int, default=1,
-                        help="parallel workers (halving rungs fan out; "
-                             "the AD search is inherently sequential)")
+                        help="parallel workers (halving rungs fan out; the "
+                             "sequential ad-bits/layer-bits searches use "
+                             "extra workers only with --speculate)")
+    search.add_argument("--speculate", type=int, dest="speculate",
+                        help="race up to K likely next trials on idle "
+                             "workers, cancelling the losers — results "
+                             "are bit-identical to the sequential search "
+                             "(ad-bits/layer-bits only; default 0 = off)")
     search.add_argument("--shard",
                         help=argparse.SUPPRESS)  # rejected with a clear error
     search.add_argument("--cache", action=argparse.BooleanOptionalAction,
@@ -1235,6 +1262,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--backend", choices=("reference", "fast"),
                         help="tensor backend applied server-side to the "
                              "resolved job")
+    submit.add_argument("--speculate", type=int, dest="speculate",
+                        help="search jobs only: race up to K likely next "
+                             "trials on idle executor slots (bit-identical "
+                             "results; default 0 = off)")
     submit.set_defaults(func=_cmd_submit)
 
     status = sub.add_parser("status", help="show the master's job queue")

@@ -11,7 +11,9 @@ Execution is split into three composable pieces: a
 (:class:`StaticScheduler` for pre-expanded grids,
 :class:`ADSearchScheduler` / :class:`LayerBitSearchScheduler` /
 :class:`SuccessiveHalvingScheduler` for
-searches where finished points propose new ones), an executor backend
+searches where finished points propose new ones, and
+:class:`SpeculativeScheduler` racing a sequential search's likely next
+trials bit-identically — ``--speculate K``), an executor backend
 (:class:`SerialExecutor` / :class:`ProcessExecutor`, with dead-worker
 detection) runs them, and the :class:`SweepRunner` driver loop joins
 the two with caching, dedup, and streaming callbacks in between.
@@ -58,6 +60,7 @@ from repro.orchestration.executor import (
     ProcessExecutor,
     SerialExecutor,
     TaskInterrupted,
+    cancelled_outcome,
     crash_outcome,
     timeout_outcome,
 )
@@ -76,8 +79,11 @@ from repro.orchestration.runner import (
 )
 from repro.orchestration.scheduler import (
     DONE,
+    Cancel,
+    Confirm,
     Done,
     Scheduler,
+    SpeculativePoint,
     StaticScheduler,
 )
 from repro.orchestration.search import (
@@ -85,6 +91,7 @@ from repro.orchestration.search import (
     LayerBitSearchScheduler,
     SearchConfig,
     SearchResult,
+    SpeculativeScheduler,
     SuccessiveHalvingScheduler,
     bit_vector_of,
     build_scheduler,
@@ -107,8 +114,10 @@ from repro.orchestration.sweep import (
 __all__ = [
     "ADSearchScheduler",
     "CacheMergeConflict",
+    "Cancel",
     "CheckpointCallback",
     "CheckpointStage",
+    "Confirm",
     "DEFAULT_CACHE_DIR",
     "DONE",
     "Done",
@@ -122,6 +131,8 @@ __all__ = [
     "SearchResult",
     "SerialExecutor",
     "ShardSpec",
+    "SpeculativePoint",
+    "SpeculativeScheduler",
     "StaticScheduler",
     "SuccessiveHalvingScheduler",
     "SweepAxis",
@@ -134,6 +145,7 @@ __all__ = [
     "axis_labels",
     "bit_vector_of",
     "build_scheduler",
+    "cancelled_outcome",
     "crash_outcome",
     "execute_point",
     "expand",

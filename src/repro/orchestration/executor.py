@@ -44,10 +44,19 @@ the ``repro master`` service above all — responsive:
   instead of blocking on, so a signal handler's flag (graceful Ctrl-C)
   unblocks the driver within a poll interval instead of after the
   current task.
+
+Both backends support :meth:`cancel` (speculative-search losers, jobs
+discarded by the service): a still-queued task is dropped for free and
+will never consume a worker slot; a task already running is *abandoned*
+— it keeps its worker until it finishes, but its eventual outcome is
+replaced by a structured ``{"status": "cancelled"}`` marker (payload
+discarded), so drivers still see exactly one outcome per submitted,
+un-dropped task and their accounting stays exact.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
 
@@ -75,6 +84,23 @@ def timeout_outcome(task: dict, seconds: float, elapsed: float) -> dict:
         ),
         "traceback": None,
         "duration": elapsed,
+    }
+
+
+def cancelled_outcome(task: dict, duration: float = 0.0) -> dict:
+    """The structured marker returned for an abandoned (cancelled) task.
+
+    Whatever the worker computed (or crashed with) is discarded — a
+    cancelled speculation's payload must never become observable — but
+    the outcome itself still flows back so the driver's one-outcome-
+    per-task accounting holds.
+    """
+    return {
+        "index": task.get("index"),
+        "status": "cancelled",
+        "error": None,
+        "traceback": None,
+        "duration": duration,
     }
 
 
@@ -108,22 +134,46 @@ class SerialExecutor:
         self.execute = execute
         self.interrupt = interrupt
         self._queue: list[dict] = []
+        # cancel() may race next_result() across threads (the asyncio
+        # master drives a serial executor from a worker thread).
+        self._lock = threading.Lock()
 
     @property
     def pending(self) -> int:
         return len(self._queue)
 
     def submit(self, task: dict) -> None:
-        self._queue.append(task)
+        with self._lock:
+            self._queue.append(task)
+
+    def cancel(self, index) -> str:
+        """Drop the queued task with ``index``; see module docstring.
+
+        Serial execution has no running-in-the-background state: a task
+        is either still queued (``"queued"`` — dropped for free, no
+        outcome will ever arrive) or already executed and returned
+        (``"unknown"``).  Nothing is ever wasted at ``jobs == 1``, which
+        is why a speculative search under the serial executor degrades
+        to exactly the sequential search.
+        """
+        with self._lock:
+            for position, task in enumerate(self._queue):
+                if task.get("index") == index:
+                    del self._queue[position]
+                    return "queued"
+        return "unknown"
 
     def next_result(self) -> dict:
-        if not self._queue:
-            raise RuntimeError("no tasks pending in the serial executor")
         if self.interrupt is not None and self.interrupt():
             # In-process execution cannot be interrupted mid-task, but
             # the queue boundary honours the flag before starting more.
             raise TaskInterrupted
-        task = self._queue.pop(0)
+        with self._lock:
+            if not self._queue:
+                raise RuntimeError(
+                    "no tasks pending in the serial executor"
+                )
+            task = self._queue.pop(0)
         try:
             return self.execute(task)
         except Exception as error:
@@ -160,6 +210,11 @@ class ProcessExecutor:
         self._backlog: list[dict] = []  # submitted, not yet in the pool
         self._futures: dict = {}  # future -> task
         self._running_since: dict = {}  # future -> first observed running
+        self._abandoned: set = set()  # cancelled task indices still in flight
+        # submit()/cancel() may be called from another thread (the
+        # asyncio master) while next_result() blocks in a worker thread;
+        # the lock keeps backlog/future bookkeeping consistent.
+        self._lock = threading.Lock()
 
     @property
     def pending(self) -> int:
@@ -189,6 +244,39 @@ class ProcessExecutor:
         self._backlog.append(task)
         self._fill()
 
+    def cancel(self, index) -> str:
+        """Cancel the task with ``index``; see the module docstring.
+
+        Dispositions: ``"queued"`` — the task was purged from the
+        backlog (or snatched from the pool before a worker picked it
+        up) and no outcome will ever arrive; ``"running"`` — the task
+        is abandoned, its worker finishes but the outcome arrives as a
+        ``cancelled`` marker with the payload discarded; ``"unknown"``
+        — the task already returned (or was never submitted here).
+
+        Purging the backlog here is load-bearing, not an optimization:
+        without it, tasks of a discarded scheduler (a cancelled service
+        job, a losing speculation) would still be fed to workers by
+        ``_fill`` and burn slots computing results nobody can receive.
+        """
+        with self._lock:
+            for position, task in enumerate(self._backlog):
+                if task.get("index") == index:
+                    del self._backlog[position]
+                    return "queued"
+            for future, task in list(self._futures.items()):
+                if task.get("index") != index:
+                    continue
+                if future.cancel():
+                    # Still in the pool's call queue: dropped before any
+                    # worker started it, as free as a backlog purge.
+                    self._futures.pop(future, None)
+                    self._running_since.pop(future, None)
+                    return "queued"
+                self._abandoned.add(index)
+                return "running"
+        return "unknown"
+
     def _fill(self) -> None:
         """Feed backlog into the pool, at most ``jobs`` futures deep.
 
@@ -199,18 +287,26 @@ class ProcessExecutor:
         worker count makes "observed running" mean "actually running";
         it also keeps backlog tasks off a pool that later breaks.
         """
-        while self._backlog and len(self._futures) < self.jobs:
-            task = self._backlog[0]
-            try:
-                future = self._ensure_pool().submit(self.execute, task)
-            except Exception:
-                # The pool broke between our liveness check and the
-                # submit (a worker died while idle); retry on a fresh
-                # pool.
-                self._discard_pool()
-                future = self._ensure_pool().submit(self.execute, task)
-            self._backlog.pop(0)
-            self._futures[future] = task
+        with self._lock:
+            while self._backlog and len(self._futures) < self.jobs:
+                task = self._backlog[0]
+                if task.get("index") in self._abandoned:
+                    # Belt-and-braces: a cancelled entry never consumes
+                    # a worker slot (cancel() purges the backlog, so
+                    # this only catches an index abandoned out of band).
+                    self._backlog.pop(0)
+                    self._abandoned.discard(task.get("index"))
+                    continue
+                try:
+                    future = self._ensure_pool().submit(self.execute, task)
+                except Exception:
+                    # The pool broke between our liveness check and the
+                    # submit (a worker died while idle); retry on a fresh
+                    # pool.
+                    self._discard_pool()
+                    future = self._ensure_pool().submit(self.execute, task)
+                self._backlog.pop(0)
+                self._futures[future] = task
 
     def _overdue(self, now: float):
         """``(future, elapsed)`` of the longest-overdue running task, or None.
@@ -221,11 +317,11 @@ class ProcessExecutor:
         """
         if self.task_timeout is None:
             return None
-        for future in self._futures:
+        for future in list(self._futures):
             if future not in self._running_since and future.running():
                 self._running_since[future] = now
         worst = None
-        for future, started in self._running_since.items():
+        for future, started in list(self._running_since.items()):
             if future not in self._futures:
                 continue
             elapsed = now - started
@@ -242,7 +338,7 @@ class ProcessExecutor:
         if self.task_timeout is not None:
             deadlines = [
                 max(0.0, started + self.task_timeout - now)
-                for future, started in self._running_since.items()
+                for future, started in list(self._running_since.items())
                 if future in self._futures
             ]
             if deadlines:
@@ -251,6 +347,14 @@ class ProcessExecutor:
             # poll at the interrupt cadence until every clock is live.
             slices.append(INTERRUPT_POLL_SECONDS)
         return min(slices) if slices else None
+
+    def _resolve(self, task: dict, outcome: dict) -> dict:
+        """Replace an abandoned task's outcome with a cancelled marker."""
+        index = task.get("index")
+        if index in self._abandoned:
+            self._abandoned.discard(index)
+            return cancelled_outcome(task, outcome.get("duration", 0.0))
+        return outcome
 
     def next_result(self) -> dict:
         from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
@@ -262,36 +366,47 @@ class ProcessExecutor:
             if self.interrupt is not None and self.interrupt():
                 raise TaskInterrupted
             self._fill()
+            if not self._futures and not self._backlog:
+                # A concurrent cancel() snatched the last pending task
+                # while we waited.  Poll until new work is submitted (a
+                # long-lived driver will feed more) or interrupt fires.
+                time.sleep(INTERRUPT_POLL_SECONDS)
+                continue
             now = time.monotonic()
             overdue = self._overdue(now)
             if overdue is not None:
                 future, elapsed = overdue
-                task = self._futures.pop(future)
+                task = self._futures.pop(future, None)
                 self._running_since.pop(future, None)
+                if task is None:
+                    continue  # cancelled out from under us
                 # The hung worker cannot be joined; kill the whole pool
                 # so later submissions start fresh.  Other tasks in
                 # flight resolve as structured failures on later calls.
                 self._discard_pool(kill=True)
-                return timeout_outcome(task, self.task_timeout, elapsed)
+                return self._resolve(
+                    task, timeout_outcome(task, self.task_timeout, elapsed)
+                )
             done, _ = wait(tuple(self._futures),
                            timeout=self._wait_timeout(now),
                            return_when=FIRST_COMPLETED)
-            if done:
-                break
-        future = next(iter(done))
-        task = self._futures.pop(future)
-        self._running_since.pop(future, None)
-        try:
-            return future.result()
-        except (BrokenExecutor, CancelledError) as error:
-            # A worker died mid-task.  Every future in flight with the
-            # broken pool will resolve the same way on later calls, each
-            # yielding its own structured failure; new submissions get a
-            # fresh pool.
-            self._discard_pool()
-            return crash_outcome(task, error)
-        except Exception as error:
-            return crash_outcome(task, error)
+            for future in done:
+                task = self._futures.pop(future, None)
+                self._running_since.pop(future, None)
+                if task is None:
+                    continue  # cancel() already collected this future
+                try:
+                    outcome = future.result()
+                except (BrokenExecutor, CancelledError) as error:
+                    # A worker died mid-task.  Every future in flight
+                    # with the broken pool will resolve the same way on
+                    # later calls, each yielding its own structured
+                    # failure; new submissions get a fresh pool.
+                    self._discard_pool()
+                    return self._resolve(task, crash_outcome(task, error))
+                except Exception as error:
+                    return self._resolve(task, crash_outcome(task, error))
+                return self._resolve(task, outcome)
 
     def __enter__(self):
         return self
@@ -304,4 +419,5 @@ class ProcessExecutor:
         self._backlog.clear()
         self._futures.clear()
         self._running_since.clear()
+        self._abandoned.clear()
         return False

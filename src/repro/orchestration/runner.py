@@ -49,7 +49,14 @@ from repro.orchestration.executor import (
     SerialExecutor,
     TaskInterrupted,
 )
-from repro.orchestration.scheduler import Done, Scheduler, StaticScheduler
+from repro.orchestration.scheduler import (
+    Cancel,
+    Confirm,
+    Done,
+    Scheduler,
+    SpeculativePoint,
+    StaticScheduler,
+)
 from repro.orchestration.sweep import SweepConfig, SweepPoint, expand
 
 
@@ -364,12 +371,16 @@ class SweepResult:
     ``cache_stats`` records the result cache's activity for this run —
     ``{"hits", "misses"}`` counted per *unique config* looked up (a hit
     fanning out to N duplicate points is one hit) — and is ``None`` when
-    the run had no cache at all.
+    the run had no cache at all.  ``speculation_stats`` likewise records
+    speculative-execution accounting (``{"speculated", "confirmed",
+    "cancelled", "wasted_trials"}``) and is ``None`` when the scheduler
+    never speculated.
     """
 
     name: str
     points: list[PointResult] = field(default_factory=list)
     cache_stats: dict | None = None
+    speculation_stats: dict | None = None
 
     @property
     def stats(self) -> dict:
@@ -378,12 +389,17 @@ class SweepResult:
         When the run used a result cache, the counts also carry
         ``cache_hits`` / ``cache_misses`` (per unique config, see
         ``cache_stats``) so cache activity is visible without
-        ``--progress`` logging.
+        ``--progress`` logging.  A speculative run additionally carries
+        ``speculated`` / ``confirmed`` / ``cancelled`` /
+        ``wasted_trials``.  Both are run-local diagnostics, excluded
+        from :meth:`to_dict` so transport payloads stay replay-stable.
         """
         counts = _status_counts(self.points)
         if self.cache_stats is not None:
             counts["cache_hits"] = self.cache_stats["hits"]
             counts["cache_misses"] = self.cache_stats["misses"]
+        if self.speculation_stats is not None:
+            counts.update(self.speculation_stats)
         return counts
 
     @property
@@ -446,7 +462,8 @@ class SchedulerDrive:
     """
 
     def __init__(self, scheduler: Scheduler, name: str | None = None,
-                 cache=None, log=None, on_point=None, on_schedule=None):
+                 cache=None, log=None, on_point=None, on_schedule=None,
+                 on_cancel=None):
         self.scheduler = scheduler
         self.name = (
             name or getattr(scheduler, "name", None) or "sweep"
@@ -455,6 +472,12 @@ class SchedulerDrive:
         self._log = log or (lambda message: None)
         self.on_point = on_point
         self.on_schedule = on_schedule
+        # ``on_cancel(task_id) -> disposition`` revokes a speculative
+        # task the caller already submitted; the returned disposition
+        # ("queued" / "running" / "unknown", the executor cancel()
+        # contract) tells the drive whether an outcome will still
+        # arrive.  None (no way to revoke) is treated as "unknown".
+        self.on_cancel = on_cancel
         self.done = False
         self.points: list[SweepPoint] = []
         self.results: list[PointResult | None] = []
@@ -465,10 +488,22 @@ class SchedulerDrive:
         self.cache_stats = (
             {"hits": 0, "misses": 0} if cache is not None else None
         )
+        # Speculation bookkeeping.  Speculative tasks use a private
+        # negative id space so they can never collide with the leader
+        # positions real tasks are keyed by.
+        self.speculation_stats: dict | None = None
+        self._speculations: dict[int, dict] = {}  # token -> record
+        self._spec_by_task: dict[int, int] = {}   # task id -> token
+        self._dropped_tasks: set = set()          # cancelled, outcome due
+        self._next_spec_task = -1
 
     @property
     def in_flight(self) -> int:
-        """Tasks submitted (or returned by :meth:`round`) and unresolved."""
+        """Tasks submitted (or returned by :meth:`round`) and unresolved.
+
+        Confirmed work only: speculative tasks are bets, not commitments,
+        so they never hold the driver loop open.
+        """
         return len(self._by_task)
 
     # ------------------------------------------------------------------
@@ -483,6 +518,13 @@ class SchedulerDrive:
         batch completed wholly from cache immediately yields the next).
         Raises when the scheduler waits while nothing is in flight — a
         deadlock no event could ever unblock.
+
+        Batches may interleave plain points with speculation directives
+        (:class:`~repro.orchestration.scheduler.SpeculativePoint` /
+        ``Confirm`` / ``Cancel``); items are processed in list order, so
+        contiguous plain-point runs schedule exactly as they always
+        have and a ``Confirm`` completing from a held speculative
+        outcome feeds the scheduler's next consultation immediately.
         """
         tasks: list[dict] = []
         while not self.done:
@@ -498,8 +540,36 @@ class SchedulerDrive:
                         "— the sweep would wait forever"
                     )
                 break
-            tasks.extend(self._schedule(list(batch)))
+            self._consume(list(batch), tasks)
         return tasks
+
+    def _consume(self, batch: list, tasks: list[dict]) -> None:
+        """Process one batch: plain points plus speculation directives."""
+        plain: list[SweepPoint] = []
+
+        def flush() -> None:
+            if plain:
+                tasks.extend(self._schedule(list(plain)))
+                plain.clear()
+
+        for item in batch:
+            if isinstance(item, SweepPoint):
+                plain.append(item)
+                continue
+            flush()
+            if isinstance(item, SpeculativePoint):
+                task = self._speculate(item)
+                if task is not None:
+                    tasks.append(task)
+            elif isinstance(item, Confirm):
+                self._confirm(item)
+            elif isinstance(item, Cancel):
+                self._cancel(item.token)
+            else:
+                raise TypeError(
+                    f"not a SweepPoint or speculation directive: {item!r}"
+                )
+        flush()
 
     def _schedule(self, batch: list[SweepPoint]) -> list[dict]:
         start = len(self.points)
@@ -546,14 +616,202 @@ class SchedulerDrive:
         return tasks
 
     # ------------------------------------------------------------------
+    # Speculation: quarantined execution of bets the scheduler placed.
+    # ------------------------------------------------------------------
+    def _speculate(self, spec: SpeculativePoint) -> dict | None:
+        """Launch one speculative point; returns its task payload or None.
+
+        The point is *not* added to the run's point list and its cache
+        lookup touches no counters: until confirmed, nothing about the
+        bet is observable.  No task is launched when the config is
+        already finished or in flight as a real point (the recorded /
+        pending outcome covers a later confirm), or when the cache
+        holds it (the payload is held quarantined in the record).
+        """
+        if not isinstance(spec.point, SweepPoint):
+            raise TypeError(f"not a SweepPoint: {spec.point!r}")
+        if spec.token in self._speculations:
+            raise RuntimeError(
+                f"scheduler reused live speculation token {spec.token!r}"
+            )
+        if self.speculation_stats is None:
+            self.speculation_stats = {
+                "speculated": 0, "confirmed": 0,
+                "cancelled": 0, "wasted_trials": 0,
+            }
+        self.speculation_stats["speculated"] += 1
+        key = spec.point.config.cache_key()
+        record = {
+            "point": spec.point,
+            "key": key,
+            "task": None,       # executor task id while unresolved
+            "outcome": None,    # held outcome once resolved
+            "cached": False,    # outcome came from the cache, not a run
+        }
+        self._speculations[spec.token] = record
+        if key in self._groups:
+            # The same config already ran (or is running) as a real
+            # point; its recorded or in-flight outcome covers a confirm.
+            return None
+        if self.cache is not None:
+            payload = self.cache.load(spec.point.config)
+            if payload is not None:
+                record["outcome"] = {"status": "cached", "payload": payload}
+                record["cached"] = True
+                return None
+        task_id = self._next_spec_task
+        self._next_spec_task -= 1
+        record["task"] = task_id
+        self._spec_by_task[task_id] = spec.token
+        self._log(f"speculate {spec.point.label}")
+        return {"index": task_id, "config": spec.point.config.to_dict()}
+
+    def _confirm(self, directive: Confirm) -> None:
+        """Adopt a speculation's execution for the real proposal.
+
+        The authoritative point (label/overrides/index exactly as the
+        sequential run would emit them) is scheduled normally —
+        ``on_schedule`` fires, the point joins its cache-key group —
+        and the bet's execution is wired to it: a held outcome finishes
+        the point immediately, a still-running task is re-keyed so
+        :meth:`deliver` routes it like any real task.  Cache counters
+        move *now* (hit for a quarantined cache load, miss for an
+        executed bet), matching what the sequential run would have
+        counted at proposal time.
+        """
+        record = self._speculations.pop(directive.token, None)
+        if record is None:
+            raise RuntimeError(
+                f"scheduler confirmed unknown speculation token "
+                f"{directive.token!r}"
+            )
+        point = directive.point
+        if not isinstance(point, SweepPoint):
+            raise TypeError(f"not a SweepPoint: {point!r}")
+        key = point.config.cache_key()
+        if key != record["key"]:
+            raise RuntimeError(
+                f"scheduler confirmed speculation {directive.token!r} "
+                f"with a different config than it speculated "
+                f"({key[:12]} != {record['key'][:12]})"
+            )
+        self.speculation_stats["confirmed"] += 1
+        position = len(self.points)
+        self.points.append(point)
+        self.results.append(None)
+        if self.on_schedule is not None:
+            self.on_schedule([point], len(self.points))
+        positions = self._groups.setdefault(key, [])
+        positions.append(position)
+        if key in self._outcomes:
+            # The config finished earlier as a real point: the confirm
+            # replays the recorded result, exactly like a re-proposal.
+            self._finish(position, self._outcomes[key])
+            self._drop_spec_task(record)
+            return
+        if len(positions) > 1:
+            # In flight as a real point; the group fan-out covers this.
+            self._drop_spec_task(record)
+            return
+        outcome = record["outcome"]
+        if record["cached"]:
+            self.cache_stats["hits"] += 1
+            self._finish_group(key, outcome)
+            return
+        if self.cache_stats is not None:
+            self.cache_stats["misses"] += 1
+        if outcome is not None:
+            # The bet already ran to completion while quarantined; only
+            # now may its payload touch the cache and stream out.
+            if outcome["status"] == "ok" and self.cache is not None:
+                self.cache.store(point.config, outcome["payload"])
+            self._finish_group(key, outcome)
+            return
+        # Still executing: hand the task over to the real bookkeeping.
+        task_id = record["task"]
+        self._spec_by_task.pop(task_id, None)
+        self._by_task[task_id] = key
+
+    def _cancel(self, token: int) -> None:
+        """Abandon a speculation; nothing it computed becomes visible."""
+        record = self._speculations.pop(token, None)
+        if record is None:
+            raise RuntimeError(
+                f"scheduler cancelled unknown speculation token {token!r}"
+            )
+        self.speculation_stats["cancelled"] += 1
+        if record["task"] is None:
+            # Never launched (covered by a real point or a quarantined
+            # cache hit — free) or already finished: an executed run
+            # occupied a worker for nothing.
+            if record["outcome"] is not None and not record["cached"]:
+                self.speculation_stats["wasted_trials"] += 1
+            return
+        self._drop_spec_task(record)
+
+    def _drop_spec_task(self, record: dict) -> None:
+        """Revoke a bet's launched executor task (no outcome wanted)."""
+        task_id = record["task"]
+        if task_id is None:
+            return
+        self._spec_by_task.pop(task_id, None)
+        disposition = (
+            self.on_cancel(task_id) if self.on_cancel is not None
+            else "unknown"
+        )
+        if disposition == "queued":
+            return  # dropped before it cost anything; no outcome due
+        # Running (or already in transit): one outcome will still
+        # arrive for this task id — drop it silently on delivery.
+        self._dropped_tasks.add(task_id)
+        self.speculation_stats["wasted_trials"] += 1
+
+    def cancel_speculations(self) -> int:
+        """Cancel every outstanding speculation (service preemption).
+
+        A paused job must not hold worker slots with bets: queued
+        speculative tasks free their slots immediately and running ones
+        are abandoned, so the pause drains real work only.  The
+        scheduler is notified via its optional
+        ``speculations_cancelled()`` hook so it re-proposes the bets
+        after resumption instead of confirming into a void.
+        """
+        if not self._speculations:
+            return 0
+        count = 0
+        for token in list(self._speculations):
+            self._cancel(token)
+            count += 1
+        notify = getattr(self.scheduler, "speculations_cancelled", None)
+        if notify is not None:
+            notify()
+        return count
+
+    # ------------------------------------------------------------------
     def deliver(self, outcome) -> None:
-        """Route one executor outcome to its point group (and the cache)."""
+        """Route one executor outcome to its point group (and the cache).
+
+        Speculative outcomes are quarantined in their bet's record (or
+        silently dropped when the bet was cancelled mid-run) — only
+        outcomes of real or confirmed tasks reach the cache, the
+        completed list, and the streaming callbacks.
+        """
         if not isinstance(outcome, dict):
             raise RuntimeError(
                 "sweep executor returned a non-outcome "
                 f"{outcome!r} instead of a result dict"
             )
-        key = self._by_task.pop(outcome.get("index"), None)
+        index = outcome.get("index")
+        token = self._spec_by_task.pop(index, None)
+        if token is not None:
+            record = self._speculations[token]
+            record["task"] = None
+            record["outcome"] = outcome
+            return
+        if index in self._dropped_tasks:
+            self._dropped_tasks.discard(index)
+            return
+        key = self._by_task.pop(index, None)
         if key is None:
             raise RuntimeError(
                 "sweep executor returned a result for an unknown "
@@ -607,6 +865,7 @@ class SchedulerDrive:
             name=self.name,
             points=[r for r in self.results if r is not None],
             cache_stats=self.cache_stats,
+            speculation_stats=self.speculation_stats,
         )
 
     def result(self) -> "SweepResult":
@@ -622,7 +881,8 @@ class SchedulerDrive:
                 + ", ".join(lost)
             )
         return SweepResult(name=self.name, points=list(self.results),
-                           cache_stats=self.cache_stats)
+                           cache_stats=self.cache_stats,
+                           speculation_stats=self.speculation_stats)
 
 
 class SweepRunner:
@@ -726,11 +986,12 @@ class SweepRunner:
         adds only the blocking executor loop around it (the asyncio
         service master drives the same class without blocking).
         """
-        drive = SchedulerDrive(
-            scheduler, name=name, cache=self.cache, log=self._log,
-            on_point=self.on_point, on_schedule=self.on_schedule,
-        )
         with self._make_executor() as executor:
+            drive = SchedulerDrive(
+                scheduler, name=name, cache=self.cache, log=self._log,
+                on_point=self.on_point, on_schedule=self.on_schedule,
+                on_cancel=executor.cancel,
+            )
             while True:
                 if self.interrupt is not None and self.interrupt():
                     raise SweepInterrupted(drive.partial_result(),

@@ -24,9 +24,33 @@ The driver calls ``next_points`` with the cumulative tuple of completed
 order, after every completion (and once before anything runs).  A
 scheduler therefore never needs its own notion of time or capacity: it
 reacts to results, the driver owns dispatch.
+
+Speculative execution
+---------------------
+
+A sequential search (one proposal in flight at a time) can still use
+idle workers by *betting*: alongside its batch a scheduler may emit
+
+* :class:`SpeculativePoint` — "start running this config now, I *might*
+  propose it next" — tagged with a scheduler-chosen cancel ``token``;
+* :class:`Confirm` — "my real next proposal is the config speculation
+  ``token`` already bet on": the driver adopts the bet's (possibly
+  finished) execution for the carried authoritative point;
+* :class:`Cancel` — "the bet is off": the driver drops the
+  speculation's queued task for free, or abandons its running one (the
+  outcome is discarded on arrival).
+
+Speculative outcomes are quarantined by the driver: they never enter
+``completed``, the result cache, or streamed output until confirmed, so
+every trial decision is made from exactly the results a sequential run
+would see — which is what makes speculative runs bit-identical to
+sequential ones.  The four item kinds may be mixed freely in one batch
+and are processed in list order.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.orchestration.sweep import SweepPoint
 
@@ -55,6 +79,49 @@ class Done:
 DONE = Done()
 
 
+@dataclass(frozen=True)
+class SpeculativePoint:
+    """A bet: run ``point`` now, it *may* become the next real proposal.
+
+    ``token`` is scheduler-chosen, unique among the scheduler's live
+    speculations; a later :class:`Confirm` or :class:`Cancel` for the
+    same token settles the bet.  The driver executes the point but
+    quarantines its outcome — nothing about it is observable (completed
+    results, cache, streamed output) unless the bet is confirmed.
+    """
+
+    point: SweepPoint
+    token: int
+
+
+@dataclass(frozen=True)
+class Confirm:
+    """Settle a speculation: the real next proposal is the bet's config.
+
+    ``point`` is the *authoritative* sequential proposal (its label,
+    overrides, and index are what a sequential run would have emitted)
+    and must carry the same config — matched by cache key — as the
+    speculation identified by ``token``.  The driver schedules ``point``
+    normally and wires the speculation's execution (queued, running, or
+    already finished) to it instead of starting a new task.
+    """
+
+    token: int
+    point: SweepPoint
+
+
+@dataclass(frozen=True)
+class Cancel:
+    """Settle a speculation the other way: the bet is abandoned.
+
+    A still-queued speculative task is dropped for free; a running one
+    is abandoned (its outcome discarded on arrival and counted as a
+    wasted trial).  Nothing the speculation computed becomes visible.
+    """
+
+    token: int
+
+
 class Scheduler:
     """Protocol for point proposers driving a sweep or search.
 
@@ -65,16 +132,21 @@ class Scheduler:
 
     name: str = "sweep"
 
-    def next_points(self, completed) -> list[SweepPoint] | Done:
+    def next_points(self, completed) -> list | Done:
         """The next batch of points given all completed results so far.
 
         ``completed`` is a tuple of every finished
         :class:`~repro.orchestration.runner.PointResult` (cache hits
-        included), in completion order.  Return a list of new points to
-        schedule, ``[]`` to wait for in-flight points to finish, or
-        :data:`DONE` when the schedule is exhausted.  Returning ``[]``
-        while nothing is in flight is a deadlock and makes the driver
-        raise.
+        included), in completion order — confirmed results only, never
+        speculative ones.  Return a list of new points to schedule,
+        ``[]`` to wait for in-flight points to finish, or :data:`DONE`
+        when the schedule is exhausted.  Returning ``[]`` while nothing
+        is in flight is a deadlock and makes the driver raise.
+
+        Batches may mix :class:`~repro.orchestration.sweep.SweepPoint`
+        items with the speculation directives
+        :class:`SpeculativePoint` / :class:`Confirm` / :class:`Cancel`
+        (processed in list order; see the module docstring).
         """
         raise NotImplementedError
 

@@ -39,6 +39,18 @@ Searches are inherently sequential in their dependencies (trial N+1
 needs trial N's results), so they cannot be sharded; the CLI rejects
 ``--shard`` for ``repro search`` and cross-host reuse flows through the
 cache instead.
+
+They can, however, be *speculated*: most next-trial decisions are
+predictable from the current one (the eqn.-3 step, its 1-bit/bisection
+fallbacks, the next energy-ranked layer moves), so with
+``SearchConfig.speculation = K`` (``repro search --speculate K``) a
+:class:`SpeculativeScheduler` wraps the sequential scheduler and races
+its top-K predicted next trials on idle workers, confirming the one the
+sequential decision actually picks and cancelling the rest.  The
+sequential scheduler only ever sees confirmed results, so the chosen
+trial sequence — reports, bit vectors, cache contents — is bit-identical
+to the unspeculated search; speculation only changes which configs are
+bet on early, never which results are kept.
 """
 
 from __future__ import annotations
@@ -54,7 +66,14 @@ from repro.orchestration.runner import (
     execute_point,
     sweep_out_payload,
 )
-from repro.orchestration.scheduler import DONE, Done, Scheduler
+from repro.orchestration.scheduler import (
+    DONE,
+    Cancel,
+    Confirm,
+    Done,
+    Scheduler,
+    SpeculativePoint,
+)
 from repro.orchestration.sweep import SweepAxis, SweepConfig, SweepPoint, expand
 
 STRATEGIES = ("ad-bits", "layer-bits", "halving")
@@ -72,6 +91,13 @@ class SearchConfig(_ConfigBase):
     takes a grid (``axes``), a budget knob (``budget_path``, written
     with each of ``budgets`` in turn), and the survivor fraction
     ``keep``.
+
+    ``speculation`` (default 0 = off) races up to that many predicted
+    next trials on idle workers alongside each real one (see
+    :class:`SpeculativeScheduler`).  It is an *execution* knob like
+    ``--jobs`` — results are bit-identical at any value — so it is
+    excluded from :meth:`to_dict` (and therefore from ``cache_key()``
+    and every transport payload).
     """
 
     name: str = "search"
@@ -83,6 +109,7 @@ class SearchConfig(_ConfigBase):
     max_trials: int = 8
     min_bits: int = 2
     seed_trials: int = 0
+    speculation: int = 0
     axes: tuple = ()
     budget_path: str = "quant.max_iterations"
     budgets: tuple = ()
@@ -112,6 +139,14 @@ class SearchConfig(_ConfigBase):
             raise ValueError("max_trials must be >= 1")
         if self.min_bits < 1:
             raise ValueError("min_bits must be >= 1")
+        if self.speculation < 0:
+            raise ValueError("speculation must be >= 0")
+        if self.speculation and self.strategy == "halving":
+            raise ValueError(
+                "speculation only applies to the sequential ad-bits / "
+                "layer-bits strategies (halving rungs already fan out "
+                "under --jobs)"
+            )
         for axis in self.axes:
             if not isinstance(axis, SweepAxis):
                 raise TypeError(f"not a SweepAxis: {axis!r}")
@@ -152,6 +187,11 @@ class SearchConfig(_ConfigBase):
         out = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if spec.name == "speculation":
+                # Execution knob, not an experiment parameter: results
+                # are bit-identical at any value, so serialized forms
+                # (cache keys, --out payloads) must not vary with it.
+                continue
             if spec.name == "base":
                 out["base"] = None if value is None else value.to_dict()
             elif spec.name == "axes":
@@ -379,9 +419,18 @@ class ADSearchScheduler(Scheduler):
         judged infeasible would waste a trial on a known outcome —
         those redirect into refining the feasibility gap instead.
         """
+        return self._descend_for(bits, float(metrics["total_ad"]))
+
+    def _descend_for(self, bits: int, density: float) -> int | None:
+        """:meth:`_descend` with the density supplied directly.
+
+        Pure (reads scheduler state, mutates nothing), so speculation
+        can evaluate the step under a *hypothetical* density — the last
+        finished trial's AD standing in for the in-flight one's.
+        """
         from repro.core.ad_quant import scale_bits
 
-        density = min(1.0, max(0.0, float(metrics["total_ad"])))
+        density = min(1.0, max(0.0, density))
         proposal = scale_bits(bits, density, self.search.min_bits)
         if proposal >= bits:
             proposal = bits - 1
@@ -419,6 +468,50 @@ class ADSearchScheduler(Scheduler):
             key=lambda b: (abs(b - midpoint), b),
         )
         return candidates[0] if candidates else None
+
+    # ------------------------------------------------------------------
+    def speculative_candidates(self) -> list[ExperimentConfig]:
+        """Configs the next proposal may be, predictable mid-flight.
+
+        Called by :class:`SpeculativeScheduler` while the latest trial
+        is still running, best guess first.  Both branches of the
+        pending feasibility verdict are covered:
+
+        * *feasible* — the eqn.-3 step needs the in-flight trial's
+          final AD, so the last **finished** trial's density stands in
+          (AD changes slowly as the descent converges, so the rounded
+          step usually lands on the same width); plus the saturated
+          1-bit step (``density = 1``), the fallback when eqn. 3 stops
+          making progress.
+        * *infeasible* — the upward bisection, which needs no metrics
+          at all and is therefore an exact prediction.
+
+        Pure: reads scheduler state, mutates nothing.  Empty before the
+        first density estimate exists minus the 1-bit/bisection
+        fallbacks, and always empty when nothing is in flight or the
+        trial budget is exhausted.
+        """
+        if not self._in_flight or len(self._trials) >= self.search.max_trials:
+            return []
+        bits = self._trials[-1]["bits"]  # the in-flight proposal
+        candidates: list[int | None] = []
+        density = next(
+            (t["metrics"]["total_ad"] for t in reversed(self._trials)
+             if t["metrics"] is not None and "total_ad" in t["metrics"]),
+            None,
+        )
+        if density is not None:
+            candidates.append(self._descend_for(bits, float(density)))
+        candidates.append(self._descend_for(bits, 1.0))
+        candidates.append(self._bisect_up(bits))
+        seen: set[int] = set()
+        configs: list[ExperimentConfig] = []
+        for value in candidates:
+            if value is None or value in seen:
+                continue
+            seen.add(value)
+            configs.append(self.base.evolve(quant={"initial_bits": value}))
+        return configs
 
     # ------------------------------------------------------------------
     @property
@@ -565,7 +658,21 @@ class LayerBitSearchScheduler(Scheduler):
     # ------------------------------------------------------------------
     def _next_move(self) -> tuple[str, dict] | None:
         """The highest-energy movable layer, stepped down one bit."""
-        artifacts = (self._incumbent["result"].payload or {}).get(
+        return self._next_move_from(
+            self._vector, self._incumbent, self._blocked, self._tried,
+        )
+
+    def _next_move_from(self, vector: dict, incumbent: dict,
+                        blocked: set, tried: set) -> tuple[str, dict] | None:
+        """:meth:`_next_move` over explicit state instead of ``self``.
+
+        Pure (reads the scheduler's immovable set and min-bits floor,
+        mutates nothing), so speculation can rank moves under
+        *hypothetical* state — e.g. the in-flight trial's vector with
+        the current incumbent's (stale) per-layer energies standing in
+        for its own.
+        """
+        artifacts = (incumbent["result"].payload or {}).get(
             "artifacts"
         ) or {}
         energies = (artifacts.get("analytical_energy") or {}).get(
@@ -574,29 +681,33 @@ class LayerBitSearchScheduler(Scheduler):
         # Rank by energy share, highest first; layers the artifact does
         # not cover (it should cover all) sort last by vector order.
         ranked = sorted(
-            self._vector,
+            vector,
             key=lambda name: (-energies.get(name, 0.0), name),
         )
         for name in ranked:
-            if name in self._immovable or name in self._blocked:
+            if name in self._immovable or name in blocked:
                 continue
-            bits = self._vector[name]
+            bits = vector[name]
             if bits - 1 < self.search.min_bits:
                 continue
-            candidate = dict(self._vector)
+            candidate = dict(vector)
             candidate[name] = bits - 1
-            if tuple(sorted(candidate.items())) in self._tried:
+            if tuple(sorted(candidate.items())) in tried:
                 continue
             return name, candidate
         return None
 
-    def _propose(self, layer: str, vector: dict) -> SweepPoint:
-        config = self.base.evolve(quant={
+    def _config_for(self, vector: dict) -> ExperimentConfig:
+        """The trial config pinning every layer at ``vector``."""
+        return self.base.evolve(quant={
             "layer_bits": vector,
             # Pin every layer: the trial trains *at* this assignment
             # (eqn. 3 finds an immediate fixpoint, one iteration).
             "layer_frozen": sorted(vector),
         })
+
+    def _propose(self, layer: str, vector: dict) -> SweepPoint:
+        config = self._config_for(vector)
         label = f"{self.base.name}[{layer}={vector[layer]}]"
         self._trials.append({
             "layer": layer,
@@ -647,6 +758,54 @@ class LayerBitSearchScheduler(Scheduler):
         else:
             # Reverted (the +1 direction of the ±1 move) and blocked.
             self._blocked.add(name)
+
+    # ------------------------------------------------------------------
+    def speculative_candidates(self) -> list[ExperimentConfig]:
+        """Configs the next proposal may be, predictable mid-flight.
+
+        Seed phase delegates to the inner scalar scheduler.  In the
+        layer phase the in-flight trial's pending verdict forks the
+        schedule two ways, both covered here, best guess first:
+
+        * *accepted* — the next move ranks the trial's vector by its
+          own per-layer energies; those are not known yet, so the
+          incumbent's (stale) energies stand in.  Energy shares shift
+          slowly under one-bit moves, so the ranking usually agrees.
+        * *rejected* — the trial's layer is blocked and the next move
+          re-ranks the *unchanged* incumbent vector: an exact
+          prediction.  Walking that chain further (each move's layer
+          blocked in turn) yields the moves proposed if several
+          rejections follow, giving top-K bets beyond the first fork.
+
+        Pure: reads scheduler state, mutates nothing.
+        """
+        if self._phase == "seed":
+            return self._inner.speculative_candidates()
+        if (not self._in_flight or self._done
+                or self._total >= self.search.max_trials):
+            return []
+        trial = self._trials[-1]
+        tried = set(self._tried)
+        configs: list[ExperimentConfig] = []
+        move = self._next_move_from(
+            trial["vector"], self._incumbent, self._blocked, tried,
+        )
+        if move is not None:
+            _, candidate = move
+            tried.add(tuple(sorted(candidate.items())))
+            configs.append(self._config_for(candidate))
+        blocked = set(self._blocked) | {trial["layer"]}
+        for _ in range(len(self._vector)):
+            move = self._next_move_from(
+                self._vector, self._incumbent, blocked, tried,
+            )
+            if move is None:
+                break
+            name, candidate = move
+            blocked.add(name)
+            tried.add(tuple(sorted(candidate.items())))
+            configs.append(self._config_for(candidate))
+        return configs
 
     # ------------------------------------------------------------------
     def _all_trials(self) -> list[dict]:
@@ -822,13 +981,130 @@ class SuccessiveHalvingScheduler(Scheduler):
         return dict(self._feasible)
 
 
+class SpeculativeScheduler(Scheduler):
+    """Race a sequential search's likely next trials; keep only its path.
+
+    Wraps a sequential scheduler exposing ``speculative_candidates()``
+    (:class:`ADSearchScheduler`, :class:`LayerBitSearchScheduler`).  The
+    inner scheduler stays the ground truth: it only ever sees confirmed
+    results, so its decision sequence is *exactly* the sequential one —
+    which makes the sped-up run bit-identical by construction.  Around
+    each inner call this wrapper:
+
+    1. matches the inner's real proposals against live bets by config
+       cache key, turning hits into :class:`Confirm` (carrying the
+       authoritative point) so the driver adopts the bet's execution;
+    2. refreshes the bet set to the inner's current top-``k``
+       candidates — stale bets get :class:`Cancel`, new ones
+       :class:`SpeculativePoint`;
+    3. on ``DONE``, cancels every surviving bet before yielding the
+       sentinel.
+
+    Every trial is a pure function of its config, so a confirmed bet's
+    quarantined outcome is byte-for-byte the outcome the sequential run
+    would have computed; speculation only changes *when* configs start
+    running, never *which* results become visible.
+    """
+
+    def __init__(self, inner: Scheduler, k: int):
+        if k < 1:
+            raise ValueError(f"speculation must be >= 1, got {k}")
+        if not hasattr(inner, "speculative_candidates"):
+            raise TypeError(
+                f"{type(inner).__name__} does not expose "
+                "speculative_candidates(); speculation only applies to "
+                "the sequential ad-bits / layer-bits schedulers"
+            )
+        self.inner = inner
+        self.k = k
+        self.name = inner.name
+        self._live: dict[int, str] = {}  # token -> config cache key
+        self._next_token = 0
+        self._finished = False
+
+    def next_points(self, completed) -> list | Done:
+        if self._finished:
+            return DONE
+        inner_batch = self.inner.next_points(completed)
+        if isinstance(inner_batch, Done):
+            self._finished = True
+            leftovers = [Cancel(token) for token in self._live]
+            self._live.clear()
+            # The driver processes the cancels, then the next call
+            # returns the bare sentinel.
+            return leftovers if leftovers else DONE
+        batch: list = []
+        proposed_keys: set[str] = set()
+        for point in inner_batch:
+            key = point.config.cache_key()
+            proposed_keys.add(key)
+            token = next(
+                (t for t, k_ in self._live.items() if k_ == key), None,
+            )
+            if token is not None:
+                del self._live[token]
+                batch.append(Confirm(token, point))
+            else:
+                batch.append(point)
+        # Refresh the bet set to the top-k candidates of the *new*
+        # inner state, skipping anything just proposed for real.
+        wanted: list[tuple[str, ExperimentConfig]] = []
+        seen = set(proposed_keys)
+        for config in self.inner.speculative_candidates():
+            key = config.cache_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            wanted.append((key, config))
+            if len(wanted) >= self.k:
+                break
+        wanted_keys = {key for key, _ in wanted}
+        for token, key in list(self._live.items()):
+            if key not in wanted_keys:
+                del self._live[token]
+                batch.append(Cancel(token))
+        live_keys = set(self._live.values())
+        for key, config in wanted:
+            if key in live_keys:
+                continue
+            token = self._next_token
+            self._next_token += 1
+            self._live[token] = key
+            batch.append(SpeculativePoint(
+                SweepPoint(label=f"speculative:{config.name}",
+                           config=config),
+                token,
+            ))
+        return batch
+
+    def speculations_cancelled(self) -> None:
+        """Driver notification: every live bet was force-cancelled.
+
+        The service master calls :meth:`SchedulerDrive.cancel_speculations`
+        when preempting a job; the wrapper must forget its live tokens
+        so resumption re-bets from scratch instead of confirming tokens
+        the driver no longer tracks.
+        """
+        self._live.clear()
+
+    def __getattr__(self, attr):
+        # best() / baseline() / feasibility() / trials /
+        # best_bit_vector() ... — everything the result assembly reads
+        # comes straight from the ground-truth inner scheduler.
+        return getattr(self.inner, attr)
+
+
 def build_scheduler(search: SearchConfig) -> Scheduler:
     """The scheduler instance a :class:`SearchConfig` describes."""
     if search.strategy == "ad-bits":
-        return ADSearchScheduler(search)
-    if search.strategy == "layer-bits":
-        return LayerBitSearchScheduler(search)
-    return SuccessiveHalvingScheduler(search)
+        scheduler: Scheduler = ADSearchScheduler(search)
+    elif search.strategy == "layer-bits":
+        scheduler = LayerBitSearchScheduler(search)
+    else:
+        return SuccessiveHalvingScheduler(search)
+    if search.speculation:
+        return SpeculativeScheduler(scheduler, search.speculation)
+    return scheduler
 
 
 def seed_halving_grid(halving: SearchConfig, ad_result: "SearchResult",

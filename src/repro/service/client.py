@@ -143,7 +143,8 @@ class MasterClient:
 
     def submit(self, preset: str | None = None, config: dict | None = None,
                kind: str | None = None, priority: int = 0,
-               backend: str | None = None) -> dict:
+               backend: str | None = None,
+               speculate: int | None = None) -> dict:
         params: dict = {"priority": priority}
         if preset is not None:
             params["preset"] = preset
@@ -153,6 +154,8 @@ class MasterClient:
             params["kind"] = kind
         if backend is not None:
             params["backend"] = backend
+        if speculate is not None:
+            params["speculate"] = speculate
         return self.call("submit", params)
 
     def status(self, job: int | None = None) -> dict:

@@ -116,13 +116,19 @@ def resolve_spec(spec: dict) -> tuple:
     ``"kind"``.  An optional ``"backend"`` key pins the job to one
     tensor backend (applied server-side to the resolved payload via
     :func:`repro.api.experiments.apply_backend`, so a restarted master
-    re-applies it when it re-offers the persisted spec).
+    re-applies it when it re-offers the persisted spec); an optional
+    integer ``"speculate"`` key turns on speculative trial execution
+    for search jobs (:func:`repro.api.experiments.apply_speculation` —
+    other kinds refuse it at submission time).
     """
     if not isinstance(spec, dict):
         raise ValueError("submission spec must be an object")
     preset = spec.get("preset")
     config = spec.get("config")
     backend = spec.get("backend")
+    speculate = spec.get("speculate")
+    if speculate is not None and not isinstance(speculate, int):
+        raise ValueError("speculate must be an integer")
     if (preset is None) == (config is None):
         raise ValueError("spec needs exactly one of 'preset' / 'config'")
     if preset is not None:
@@ -130,6 +136,7 @@ def resolve_spec(spec: dict) -> tuple:
 
         kind, payload = experiments.resolve_any(preset)
         payload = experiments.apply_backend(kind, payload, backend)
+        payload = experiments.apply_speculation(kind, payload, speculate)
         return kind, preset, payload
     kind = spec.get("kind") or detect_config_kind(config)
     if kind not in jobqueue.JOB_KINDS:
@@ -137,7 +144,7 @@ def resolve_spec(spec: dict) -> tuple:
             f"unknown job kind {kind!r} (choose from {jobqueue.JOB_KINDS})"
         )
     name = config.get("name") if isinstance(config, dict) else None
-    if backend is not None:
+    if backend is not None or speculate is not None:
         from repro.api import experiments
         from repro.api.config import ExperimentConfig
         from repro.orchestration.search import SearchConfig
@@ -148,6 +155,7 @@ def resolve_spec(spec: dict) -> tuple:
         config = experiments.apply_backend(
             kind, typed.from_dict(config), backend
         )
+        config = experiments.apply_speculation(kind, config, speculate)
     return kind, name or f"inline-{kind}", config
 
 
@@ -163,6 +171,10 @@ class _JobRun:
         self.outstanding = 0            # tasks submitted, outcome pending
         self.active = True
         self.error: str | None = None
+        # Reverse task-id maps for cancellation: the drive cancels by
+        # *local* index, the executor by master-global id.
+        self.gids: set = set()          # this job's in-flight gids
+        self.gid_by_local: dict = {}    # local index -> gid
 
 
 class Master:
@@ -252,6 +264,8 @@ class Master:
         gid = self._gid
         self._gid += 1
         self._inflight[gid] = (run, task["index"])
+        run.gids.add(gid)
+        run.gid_by_local[task["index"]] = gid
         run.outstanding += 1
         self._executor.submit({"index": gid, "config": task["config"]})
         self._have_work.set()
@@ -267,12 +281,23 @@ class Master:
                 outcome = await asyncio.to_thread(self._executor.next_result)
             except TaskInterrupted:
                 return  # shutdown
-            entry = self._inflight.pop(outcome.get("index"), None)
+            except RuntimeError:
+                # A cancel() on the event loop emptied the executor
+                # between the inflight check and the blocking wait;
+                # nothing to collect until something is submitted.
+                if not self._inflight:
+                    self._have_work.clear()
+                await asyncio.sleep(0.05)
+                continue
+            gid = outcome.get("index")
+            entry = self._inflight.pop(gid, None)
             if not self._inflight:
                 self._have_work.clear()
             if entry is None:
                 continue  # outcome of a cancelled job's straggler
             run, local = entry
+            run.gids.discard(gid)
+            run.gid_by_local.pop(local, None)
             run.outstanding -= 1
             outcome["index"] = local
             if run.active:
@@ -310,8 +335,10 @@ class Master:
             if verdict == "done":
                 self._finalize(job, run, jobqueue.DONE)
             elif verdict == "cancelled":
+                self._discard_run_tasks(run)
                 self._finalize(job, run, jobqueue.CANCELLED)
             else:
+                self._discard_run_tasks(run)
                 self._finalize(job, run, jobqueue.FAILED, error=run.error)
 
     def _make_run(self, job) -> _JobRun:
@@ -335,12 +362,39 @@ class Master:
                     ],
                 }))
 
+        holder: list = []
+
+        def on_cancel(local_index):
+            # Revoke one of this job's submitted speculative tasks.
+            # Backlogged tasks (proposed, no slot yet) are free; for
+            # submitted ones the executor's disposition decides, and a
+            # "queued" drop must also unwind the master's bookkeeping
+            # (no outcome will ever arrive for the gid).
+            run = holder[0]
+            for position, task in enumerate(run.backlog):
+                if task["index"] == local_index:
+                    del run.backlog[position]
+                    return "queued"
+            gid = run.gid_by_local.get(local_index)
+            if gid is None:
+                return "unknown"
+            disposition = self._executor.cancel(gid)
+            if disposition == "queued":
+                self._inflight.pop(gid, None)
+                run.gids.discard(gid)
+                run.gid_by_local.pop(local_index, None)
+                run.outstanding -= 1
+            return disposition
+
         drive = SchedulerDrive(
             scheduler, name=name, cache=self.cache,
             log=lambda message: self.log(f"job {job.id}: {message}"),
             on_point=on_point, on_schedule=on_schedule,
+            on_cancel=on_cancel,
         )
-        return _JobRun(job, drive, scheduler)
+        run = _JobRun(job, drive, scheduler)
+        holder.append(run)
+        return run
 
     async def _drive(self, run: _JobRun) -> str:
         """Drive one job until done/failed/cancelled — or ``paused``.
@@ -355,7 +409,12 @@ class Master:
             if job.cancel_requested:
                 return "cancelled"
             preempt = self._stopping or self.queue.should_preempt(job)
-            if not preempt:
+            if preempt:
+                # Speculative in-flights are bets, not committed work: a
+                # pausing job must not hold executor slots (or backlog
+                # entries) with them while a higher-priority job waits.
+                drive.cancel_speculations()
+            else:
                 if not drive.done:
                     try:
                         run.backlog.extend(drive.round())
@@ -380,6 +439,24 @@ class Master:
             except RuntimeError as error:
                 run.error = str(error)
                 return "failed"
+
+    def _discard_run_tasks(self, run: _JobRun) -> None:
+        """Purge a discarded job's tasks from the shared executor.
+
+        A cancelled (or crashed) job can leave proposed tasks in its
+        backlog and submitted ones in the executor's; without this purge
+        the executor would keep feeding them to workers — burning shared
+        slots on a job whose scheduler no longer exists.  Queued tasks
+        are dropped for free (their gids unwound so the pump never waits
+        on them); running ones finish as stragglers the pump already
+        discards for inactive runs.
+        """
+        run.backlog.clear()
+        for gid in list(run.gids):
+            if self._executor.cancel(gid) == "queued":
+                if self._inflight.pop(gid, None) is not None:
+                    run.outstanding -= 1
+                run.gids.discard(gid)
 
     def _summarize(self, run: _JobRun | None) -> dict:
         if run is None:
@@ -517,7 +594,8 @@ class Master:
 
     def _rpc_submit(self, params, writer, request_id):
         spec = {key: params[key]
-                for key in ("preset", "config", "kind", "backend")
+                for key in ("preset", "config", "kind", "backend",
+                            "speculate")
                 if key in params}
         priority = params.get("priority", 0)
         if not isinstance(priority, int):

@@ -181,6 +181,54 @@ class TestSearchCommand:
         assert "is a directory" in capsys.readouterr().err
 
 
+class TestSpeculateFlag:
+    def _normalized(self, payload):
+        for point in payload["points"]:
+            point["duration"] = 0.0
+        return payload
+
+    def test_speculative_out_is_bit_identical_and_stats_surface(
+            self, micro_search, capsys):
+        # The real pipeline, twice: sequential vs --speculate 2, fresh
+        # caches.  The --out payloads must match exactly (durations
+        # aside) and the speculative summary line must surface the
+        # accounting the payload deliberately omits.
+        seq_out = micro_search["root"] / "seq.json"
+        assert main(["search", "--config", micro_search["config"],
+                     "--cache-dir", str(micro_search["root"] / "cache-a"),
+                     "--out", str(seq_out), "--quiet"]) == 0
+        capsys.readouterr()
+        spec_out = micro_search["root"] / "spec.json"
+        assert main(["search", "--config", micro_search["config"],
+                     "--speculate", "2",
+                     "--cache-dir", str(micro_search["root"] / "cache-b"),
+                     "--out", str(spec_out)]) == 0
+        summary = capsys.readouterr().out
+        assert "speculation:" in summary and "wasted trial(s)" in summary
+        sequential = self._normalized(json.loads(seq_out.read_text()))
+        speculative = self._normalized(json.loads(spec_out.read_text()))
+        assert speculative == sequential
+        assert "speculated" not in speculative["stats"]
+
+    def test_speculate_rejected_for_halving(self, tmp_path, capsys):
+        search = SearchConfig(
+            name="halving", preset="vgg11-micro-smoke",
+            strategy="halving", budgets=(1, 2),
+        )
+        path = tmp_path / "halving.json"
+        search.to_json(path)
+        assert main(["search", "--config", str(path),
+                     "--speculate", "2", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "--speculate" in err and "halving" in err
+        assert "Traceback" not in err
+
+    def test_negative_speculate_rejected(self, micro_search, capsys):
+        assert main(["search", "--config", micro_search["config"],
+                     "--speculate", "-1", "--quiet"]) == 2
+        assert "--speculate" in capsys.readouterr().err
+
+
 class TestSearchesListing:
     def test_searches_lists_registry_with_trial_counts(self, capsys):
         assert main(["searches"]) == 0

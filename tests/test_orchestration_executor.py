@@ -229,6 +229,95 @@ class TestTaskTimeout:
         assert timeout["status"] == "timeout"
 
 
+def _task(index, seed):
+    return {"index": index, "config": micro_config(seed).to_dict()}
+
+
+class TestCancel:
+    """The ``cancel`` seam speculative search and job discard ride on."""
+
+    def test_serial_cancel_queued_is_free(self):
+        executor = SerialExecutor(fast_or_hang)
+        for index in range(3):
+            executor.submit(_task(index, NAP_SEED_FLOOR + index))
+        assert executor.cancel(1) == "queued"
+        assert executor.pending == 2
+        # The dropped task never executes and never yields an outcome.
+        assert {executor.next_result()["index"],
+                executor.next_result()["index"]} == {0, 2}
+        with pytest.raises(RuntimeError, match="no tasks pending"):
+            executor.next_result()
+
+    def test_serial_cancel_unknown_index(self):
+        executor = SerialExecutor(fast_or_hang)
+        assert executor.cancel(7) == "unknown"
+        executor.submit(_task(0, 0))
+        executor.next_result()
+        # Already executed and returned: nothing left to cancel.
+        assert executor.cancel(0) == "unknown"
+
+    def test_process_cancel_queued_never_consumes_a_slot(self):
+        # Two naps fill both workers; the third task sits in the
+        # backlog.  Cancelling it is free — it must never be fed to a
+        # worker, and exactly two outcomes arrive.
+        with ProcessExecutor(2, fast_or_hang) as executor:
+            for index in range(2):
+                executor.submit(_task(index, NAP_SEED_FLOOR + index))
+            executor.submit(_task(2, 0))
+            assert executor.cancel(2) == "queued"
+            assert executor.pending == 2
+            collected = {executor.next_result()["index"],
+                         executor.next_result()["index"]}
+            assert collected == {0, 1}
+            assert executor.pending == 0
+
+    def test_process_cancel_running_discards_the_outcome(self):
+        import time
+
+        with ProcessExecutor(2, fast_or_hang) as executor:
+            executor.submit(_task(0, NAP_SEED_FLOOR))
+            time.sleep(0.5)  # let a worker pick the task up
+            assert executor.cancel(0) == "running"
+            outcome = executor.next_result()
+            # The worker's result is discarded: a structured cancelled
+            # marker arrives instead, payload-free, so the abandoned
+            # bet can never reach a cache or an --out file.
+            assert outcome["index"] == 0
+            assert outcome["status"] == "cancelled"
+            assert "payload" not in outcome
+            assert outcome["error"] is None
+
+    def test_process_cancel_racing_completion_first_writer_wins(self):
+        import time
+
+        # The task *finishes* before the cancel lands: the cancel still
+        # reports "running" (the outcome is already computed, so it was
+        # not free) and the computed payload is still replaced by the
+        # cancelled marker — exactly one outcome per task either way.
+        with ProcessExecutor(2, fast_or_hang) as executor:
+            executor.submit(_task(0, 0))
+            executor.submit(_task(1, 1))
+            time.sleep(1.0)  # both instant tasks have long finished
+            assert executor.cancel(1) == "running"
+            outcomes = [executor.next_result(), executor.next_result()]
+            by_index = {o["index"]: o for o in outcomes}
+            assert set(by_index) == {0, 1}
+            assert by_index[0]["status"] == "ok"
+            assert by_index[1]["status"] == "cancelled"
+            assert "payload" not in by_index[1]
+            assert executor.pending == 0
+
+    def test_process_cancel_after_collection_is_unknown(self):
+        with ProcessExecutor(2, fast_or_hang) as executor:
+            executor.submit(_task(0, 0))
+            assert executor.next_result()["status"] == "ok"
+            assert executor.cancel(0) == "unknown"
+
+    def test_process_cancel_unknown_index(self):
+        with ProcessExecutor(2, fast_or_hang) as executor:
+            assert executor.cancel(99) == "unknown"
+
+
 class TestInterrupt:
     def test_serial_interrupt_stops_between_tasks(self):
         from repro.orchestration import SweepInterrupted

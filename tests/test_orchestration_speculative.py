@@ -1,0 +1,366 @@
+"""Speculative search execution must be bit-identical to sequential.
+
+The whole promise of ``--speculate K`` is that it is an *execution*
+knob, not a search knob: the chosen trial sequence, report rows, best
+bit vector, cache contents, and every intermediate streamed ``--out``
+payload are byte-for-byte what the unspeculated sequential search
+produces — speculation only changes which configs get *started* early,
+never which results become visible.  These tests pin that invariant the
+same way ``test_orchestration_scheduler.py`` pinned the scheduler/
+executor split against the pre-split runner: run the sequential search
+as the reference, then run the speculative search at several ``K`` and
+``jobs`` values on fresh caches and diff everything observable.
+
+The trial landscape is a deterministic fake ``execute`` (a pure
+function of the config, like real trials): feasibility flips on the
+mean bit-width, activation density drifts linearly with it, and the
+per-layer analytical energies are a fixed weighting of the bit vector.
+That makes every sequential decision — and therefore every speculative
+bet — exactly predictable, so the tests can also assert *which* configs
+must never leak: the known-cancelled bets.
+"""
+
+import copy
+
+import pytest
+
+from repro.api import experiments
+from repro.orchestration import ResultCache
+from repro.orchestration.search import (
+    SearchConfig,
+    SpeculativeScheduler,
+    build_scheduler,
+    run_search,
+    search_out_payload,
+)
+
+LAYERS = ("conv0", "conv1", "conv2", "fc")
+# Per-layer energy weights (pJ per bit).  The spread is wide enough
+# that one-bit moves never reorder the energy ranking, so the layer
+# search's accept-guess bets (ranked with the *stale* incumbent
+# energies) predict the sequential move exactly.
+WEIGHTS = {"conv0": 12.0, "conv1": 20.0, "conv2": 8.0, "fc": 4.0}
+FEASIBLE_MEAN_BITS = 3.75  # mean width at/above which accuracy holds
+
+
+def _vector_of(config_dict: dict) -> dict:
+    """The per-layer assignment a task's config pins (or implies)."""
+    quant = config_dict["quant"]
+    pinned = quant.get("layer_bits") or {}
+    return {
+        name: pinned.get(name, quant["initial_bits"]) for name in LAYERS
+    }
+
+
+def fake_execute(task: dict) -> dict:
+    """A deterministic trial: a pure function of the config.
+
+    Module-level so it pickles into process-pool workers.  Mirrors the
+    payload shape of real runs closely enough for the search machinery:
+    a report with one row (bit widths, accuracy, total AD) and the
+    analytical-energy artifact with absolute and per-layer energies.
+    """
+    vector = _vector_of(task["config"])
+    mean_bits = sum(vector.values()) / len(vector)
+    accuracy = 0.9 if mean_bits >= FEASIBLE_MEAN_BITS else 0.6
+    total_ad = min(0.95, max(0.05, 0.55 + 0.02 * (mean_bits - 8)))
+    per_layer = {name: bits * WEIGHTS[name] for name, bits in vector.items()}
+    model_pj = sum(per_layer.values())
+    baseline_pj = 16 * sum(WEIGHTS.values())
+    return {
+        "index": task["index"],
+        "status": "ok",
+        "payload": {
+            "report": {
+                "architecture": "fake-net",
+                "dataset": "fake-data",
+                "layer_names": list(LAYERS),
+                "rows": [{
+                    "iteration": 1,
+                    "label": "fake",
+                    "bit_widths": [vector[name] for name in LAYERS],
+                    "channel_counts": None,
+                    "test_accuracy": accuracy,
+                    "total_ad": total_ad,
+                    "energy_efficiency": baseline_pj / model_pj,
+                    "epochs": 1,
+                    "train_complexity": 1.0,
+                }],
+            },
+            "artifacts": {
+                "analytical_energy": {
+                    "model_total_pj": model_pj,
+                    "baseline_total_pj": baseline_pj,
+                    "per_layer_pj": per_layer,
+                },
+            },
+        },
+        "duration": 0.0,
+    }
+
+
+def spec_base():
+    return experiments.get_config("vgg11-micro-smoke").evolve(
+        quant={"initial_bits": 8},
+    )
+
+
+def ad_search(**overrides):
+    """Sequential trace: bits 8 -> 4 (eqn. 3) -> 2 (infeasible)
+    -> 3 (bisection, infeasible) -> done."""
+    kwargs = dict(
+        name="spec-ad", base=spec_base(), strategy="ad-bits",
+        accuracy_drop=0.05, max_trials=6, min_bits=2,
+    )
+    kwargs.update(overrides)
+    return SearchConfig(**kwargs)
+
+
+def layer_search(**overrides):
+    """Seed trace as above (4 trials), survivor uniform-4; then
+    [conv1=3] accepted -> [conv1=2] infeasible -> [conv2=3]
+    infeasible -> done at the trial budget."""
+    kwargs = dict(
+        name="spec-layer", base=spec_base(), strategy="layer-bits",
+        accuracy_drop=0.05, max_trials=7, seed_trials=4, min_bits=2,
+    )
+    kwargs.update(overrides)
+    return SearchConfig(**kwargs)
+
+
+def _normalized(payload: dict) -> dict:
+    """A search --out payload with run-local durations zeroed."""
+    payload = copy.deepcopy(payload)
+    for point in payload["points"]:
+        if "duration" in point:
+            point["duration"] = 0.0
+    return payload
+
+
+class GrowingStream:
+    """Records the search --out payload after every driver event.
+
+    Mirrors the CLI's streaming writer: the point list grows via
+    ``on_schedule`` (searches discover their points as they go) and
+    every event snapshots the full payload, so two runs writing the
+    same sequence would produce the same ``--out`` file at every
+    instant — the streamed half of the bit-identity invariant.
+    """
+
+    def __init__(self, search, scheduler):
+        self.search = search
+        self.scheduler = scheduler
+        self.points = []
+        self.results = []
+        self.writes = []
+
+    def on_schedule(self, new_points, total):
+        self.points.extend(new_points)
+        self.results.extend([None] * len(new_points))
+        self._write()
+
+    def on_point(self, result, position, total):
+        self.results[position] = result
+        self._write()
+
+    def _write(self):
+        self.writes.append(_normalized(search_out_payload(
+            self.search, self.search.name, self.points, self.results,
+            best=self.scheduler.best(),
+            baseline=self.scheduler.baseline(),
+            feasibility=self.scheduler.feasibility(),
+        )))
+
+
+def run_once(search, jobs, cache):
+    """One full search through the real driver, capturing the stream."""
+    scheduler = build_scheduler(search)
+    stream = GrowingStream(search, scheduler)
+    result = run_search(
+        search, jobs=jobs, cache=cache, execute=fake_execute,
+        on_point=stream.on_point, on_schedule=stream.on_schedule,
+        scheduler=scheduler,
+    )
+    return result, stream
+
+
+def cache_snapshot(cache: ResultCache) -> dict:
+    """Every cache entry, keyed — cancelled bets must never appear."""
+    return {key: cache.read_entry(key) for key in cache.keys()}
+
+
+def assert_bit_identical(reference, ref_stream, ref_cache,
+                         candidate, cand_stream, cand_cache):
+    assert _normalized(candidate.to_dict()) == _normalized(
+        reference.to_dict())
+    assert [(p.label, p.status, p.key) for p in candidate.points] == \
+        [(p.label, p.status, p.key) for p in reference.points]
+    assert candidate.feasibility == reference.feasibility
+    assert (candidate.best.key if candidate.best else None) == \
+        (reference.best.key if reference.best else None)
+    assert candidate.report().format() == reference.report().format()
+    assert cand_stream.writes == ref_stream.writes
+    assert cache_snapshot(cand_cache) == cache_snapshot(ref_cache)
+
+
+SEARCHES = {"ad-bits": ad_search, "layer-bits": layer_search}
+
+
+class TestBitIdentity:
+    """Acceptance: speculative == sequential, bit for bit, at every
+    ``--speculate K`` and on both executor backends."""
+
+    @pytest.mark.parametrize("strategy", sorted(SEARCHES))
+    def test_serial_executor_every_k(self, tmp_path, strategy):
+        make = SEARCHES[strategy]
+        ref_cache = ResultCache(tmp_path / "seq")
+        reference, ref_stream = run_once(make(), jobs=1, cache=ref_cache)
+        assert reference.best is not None  # the landscape found a winner
+        for k in (1, 2, 3):
+            cand_cache = ResultCache(tmp_path / f"spec{k}")
+            candidate, cand_stream = run_once(
+                make(speculation=k), jobs=1, cache=cand_cache)
+            assert_bit_identical(reference, ref_stream, ref_cache,
+                                 candidate, cand_stream, cand_cache)
+            # jobs == 1 degrades to pure sequential: bets queue behind
+            # the real trial and are always cancelled while queued.
+            stats = candidate.stats
+            assert stats["wasted_trials"] == 0
+            assert stats["executed"] == reference.stats["executed"]
+
+    @pytest.mark.parametrize("strategy", sorted(SEARCHES))
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_process_executor(self, tmp_path, strategy, k):
+        make = SEARCHES[strategy]
+        ref_cache = ResultCache(tmp_path / "seq")
+        reference, ref_stream = run_once(make(), jobs=1, cache=ref_cache)
+        cand_cache = ResultCache(tmp_path / f"spec{k}")
+        candidate, cand_stream = run_once(
+            make(speculation=k), jobs=4, cache=cand_cache)
+        assert_bit_identical(reference, ref_stream, ref_cache,
+                             candidate, cand_stream, cand_cache)
+
+    def test_warm_cache_replay_identical(self, tmp_path):
+        # Both runs warm: every trial is a cache hit (speculative bets
+        # included — a bet on a cached config is held, not re-run), and
+        # the hit accounting matches the sequential run's exactly.
+        make = SEARCHES["layer-bits"]
+        ref_cache = ResultCache(tmp_path / "seq")
+        run_once(make(), jobs=1, cache=ref_cache)
+        reference, ref_stream = run_once(make(), jobs=1, cache=ref_cache)
+        cand_cache = ResultCache(tmp_path / "spec")
+        run_once(make(speculation=2), jobs=2, cache=cand_cache)
+        candidate, cand_stream = run_once(
+            make(speculation=2), jobs=2, cache=cand_cache)
+        assert_bit_identical(reference, ref_stream, ref_cache,
+                             candidate, cand_stream, cand_cache)
+        assert candidate.stats["cached"] == reference.stats["cached"]
+        assert candidate.stats["cache_hits"] == reference.stats["cache_hits"]
+        assert candidate.stats["executed"] == 0
+
+
+class TestQuarantine:
+    """Cancelled bets must never become observable anywhere."""
+
+    def test_cancelled_bet_absent_from_cache_and_stream(self, tmp_path):
+        # The very first AD bet is known: with no density estimate yet,
+        # the wrapper bets on the saturated 1-bit step (bits=7) while
+        # trial 8 runs; the real next trial is 4, so the bet is always
+        # cancelled.  Its config must never reach the cache or any
+        # streamed payload — even under the process executor, where the
+        # bet genuinely executes on a worker before the cancel lands.
+        search = ad_search(speculation=3)
+        loser = spec_base().evolve(quant={"initial_bits": 7})
+        cache = ResultCache(tmp_path / "cache")
+        result, stream = run_once(search, jobs=4, cache=cache)
+
+        assert cache.load(loser) is None
+        assert loser.cache_key() not in cache.keys()
+        trial_keys = {p.key for p in result.points}
+        assert loser.cache_key() not in trial_keys
+        assert set(cache.keys()) == trial_keys
+        for write in stream.writes:
+            streamed = {point["key"] for point in write["points"]}
+            assert streamed <= trial_keys
+            assert loser.cache_key() not in streamed
+
+    def test_speculative_labels_never_streamed(self, tmp_path):
+        for make in SEARCHES.values():
+            result, stream = run_once(
+                make(speculation=2), jobs=4,
+                cache=ResultCache(tmp_path / make().name))
+            assert all("speculative:" not in p.label
+                       for p in result.points)
+            for write in stream.writes:
+                assert all("speculative:" not in point["label"]
+                           for point in write["points"])
+
+
+class TestAccounting:
+    """Satellite: speculation stats surface in ``.stats`` only —
+    excluded from ``to_dict()`` exactly like the cache stats."""
+
+    SPEC_KEYS = {"speculated", "confirmed", "cancelled", "wasted_trials"}
+
+    def test_stats_present_and_settled(self, tmp_path):
+        result, _ = run_once(ad_search(speculation=2), jobs=2,
+                             cache=ResultCache(tmp_path / "c"))
+        stats = result.stats
+        assert self.SPEC_KEYS <= set(stats)
+        # Every bet settles as exactly one of confirmed / cancelled,
+        # and only cancelled bets can waste a worker's work.
+        assert stats["speculated"] == \
+            stats["confirmed"] + stats["cancelled"]
+        assert stats["confirmed"] >= 1  # the landscape is predictable
+        assert 0 <= stats["wasted_trials"] <= stats["cancelled"]
+
+    def test_stats_excluded_from_payloads(self, tmp_path):
+        result, stream = run_once(ad_search(speculation=2), jobs=2,
+                                  cache=ResultCache(tmp_path / "c"))
+        assert not self.SPEC_KEYS & set(result.to_dict()["stats"])
+        for write in stream.writes:
+            assert not self.SPEC_KEYS & set(write["stats"])
+
+    def test_sequential_runs_carry_no_speculation_stats(self, tmp_path):
+        result, _ = run_once(ad_search(), jobs=1,
+                             cache=ResultCache(tmp_path / "c"))
+        assert not self.SPEC_KEYS & set(result.stats)
+
+
+class TestConfigSurface:
+    """The ``speculation`` knob's validation and serialization."""
+
+    def test_rejected_for_halving(self):
+        with pytest.raises(ValueError, match="halving"):
+            ad_search(strategy="halving", speculation=2, min_bits=2,
+                      budgets=(1, 2), axes=())
+
+    def test_rejected_when_negative(self):
+        with pytest.raises(ValueError, match="speculation"):
+            ad_search(speculation=-1)
+
+    def test_excluded_from_dict_and_cache_key(self):
+        plain, speculated = ad_search(), ad_search(speculation=3)
+        assert "speculation" not in plain.to_dict()
+        assert speculated.to_dict() == plain.to_dict()
+        assert speculated.cache_key() == plain.cache_key()
+
+    def test_round_trip_defaults_off(self):
+        rebuilt = SearchConfig.from_dict(ad_search(speculation=3).to_dict())
+        assert rebuilt.speculation == 0
+
+    def test_build_scheduler_wraps_only_when_on(self):
+        assert isinstance(build_scheduler(ad_search(speculation=1)),
+                          SpeculativeScheduler)
+        assert not isinstance(build_scheduler(ad_search()),
+                              SpeculativeScheduler)
+
+    def test_wrapper_needs_a_speculatable_scheduler(self):
+        class Opaque:
+            name = "opaque"
+
+            def next_points(self, completed):
+                return []
+
+        with pytest.raises(TypeError, match="speculative_candidates"):
+            SpeculativeScheduler(Opaque(), 2)

@@ -309,6 +309,105 @@ class TestRestart:
             harness.stop()
 
 
+def search_spec(speculate=None, seed=0, max_trials=2):
+    from repro.orchestration.search import SearchConfig
+
+    search = SearchConfig(
+        name="spec-search",
+        base=experiments.get_config("vgg11-micro-smoke").evolve(
+            model={"seed": seed}),
+        strategy="ad-bits",
+        max_trials=max_trials,
+    )
+    spec = {"config": search.to_dict(), "kind": "search"}
+    if speculate is not None:
+        spec["speculate"] = speculate
+    return spec
+
+
+class TestSpeculativeSubmission:
+    """``submit --speculate`` flows through the service end to end."""
+
+    def test_search_with_speculate_completes(self, harness):
+        # The harness execute returns row-less payloads, so the search
+        # ends after its reference trial — but not before the wrapper
+        # bet on the 1-bit step and cancelled it at DONE.  The whole
+        # speculative path (quarantine, cancel, accounting) runs inside
+        # the live master, and the stats surface in the summary.
+        with harness.client() as client:
+            job = client.submit(**search_spec(speculate=2))["job"]
+            final = client.watch(job)
+        assert final["state"] == "done"
+        stats = final["summary"]["stats"]
+        assert stats["speculated"] == 1
+        assert stats["confirmed"] == 0
+        assert stats["cancelled"] == 1
+        assert stats["wasted_trials"] == 0  # serial: bets die queued
+
+    def test_unspeculated_search_carries_no_speculation_stats(
+            self, harness):
+        with harness.client() as client:
+            final = client.watch(
+                client.submit(**search_spec())["job"])
+        assert "speculated" not in final["summary"]["stats"]
+
+    def test_speculate_rejected_for_sweep_jobs(self, harness):
+        with harness.client() as client:
+            spec = sweep_spec()
+            spec["speculate"] = 2
+            with pytest.raises(MasterError) as err:
+                client.submit(**spec)
+            assert err.value.code == protocol.E_BAD_PARAMS
+
+    def test_speculate_must_be_an_integer(self, harness):
+        with harness.client() as client:
+            spec = search_spec()
+            spec["speculate"] = "three"
+            with pytest.raises(MasterError) as err:
+                client.call("submit", spec)
+            assert err.value.code == protocol.E_BAD_PARAMS
+
+    def test_preemption_cancels_bets_and_search_still_finishes(
+            self, harness):
+        # A slow speculative search gets preempted by an urgent job:
+        # the master must cancel the search's in-flight bets before
+        # switching (they would otherwise hold the shared executor),
+        # then resume and finish the search correctly.
+        with harness.client() as client:
+            slow = client.submit(**search_spec(
+                speculate=2, seed=SLOW_SEED))["job"]
+            wait_for_state(client, slow, ("running",))
+            urgent = client.submit(**sweep_spec("urgent", seeds=(1,)),
+                                   priority=10)["job"]
+            assert client.watch(urgent)["state"] == "done"
+            final = client.watch(slow)
+        assert final["state"] == "done"
+        stats = final["summary"]["stats"]
+        # Every bet settled one way or the other — none leaked.
+        assert stats["speculated"] == \
+            stats["confirmed"] + stats["cancelled"]
+
+
+class TestResolveSpecSpeculation:
+    def test_speculate_applies_to_search_configs(self):
+        from repro.service.master import resolve_spec
+
+        kind, _, payload = resolve_spec(search_spec(speculate=3))
+        assert kind == "search"
+        assert payload.speculation == 3
+
+    def test_speculate_refused_for_run_kind(self):
+        from repro.service.master import resolve_spec
+
+        with pytest.raises(ValueError, match="search jobs"):
+            resolve_spec({
+                "config": experiments.get_config(
+                    "vgg11-micro-smoke").to_dict(),
+                "kind": "run",
+                "speculate": 2,
+            })
+
+
 class TestKindDetection:
     def test_detects_search_sweep_and_run(self):
         assert detect_config_kind({"strategy": "ad-bits"}) == "search"
