@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
-from repro.backend import active_backend
+from repro.backend import active_backend, fusion_enabled
 from repro.backend._im2col import conv_output_size, im2col_indices
 
 
@@ -57,7 +57,7 @@ def conv2d(
     out = backend.matmul(w_mat, cols)  # (O, N*out_h*out_w)
     out = out.reshape(out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
     if bias is not None:
-        out = out + bias.data.reshape(1, -1, 1, 1)
+        out = backend.bias_add(out, bias.data, axis=1)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
@@ -65,8 +65,13 @@ def conv2d(
         # grad: (N, O, out_h, out_w)
         grad_mat = grad.transpose(1, 0, 2, 3).reshape(out_channels, -1)
         grad_w = backend.matmul(grad_mat, cols.T).reshape(weight.data.shape)
-        grad_cols = backend.matmul(w_mat.T, grad_mat)
-        grad_x = backend.col2im(grad_cols, x.data.shape, kernel, stride, padding)
+        if x.requires_grad:
+            grad_cols = backend.matmul(w_mat.T, grad_mat)
+            grad_x = backend.col2im(grad_cols, x.data.shape, kernel, stride,
+                                    padding)
+        else:
+            # The first conv's input is data: skip its matmul + scatter.
+            grad_x = None
         if bias is None:
             return (grad_x, grad_w)
         grad_b = grad.sum(axis=(0, 2, 3))
@@ -82,7 +87,19 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     out_h = conv_output_size(h, kernel, stride, 0)
     out_w = conv_output_size(w, kernel, stride, 0)
 
-    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+    block = stride == kernel and h % kernel == 0 and w % kernel == 0
+    if block and fusion_enabled():
+        # Fused single-node pool on the backend: the residual keeps only
+        # argmax indices, not the k*k window expansion.
+        backend = active_backend()
+        out, residual = backend.maxpool_fwd(x.data, kernel)
+
+        def backward(grad):
+            return (backend.maxpool_bwd(grad, residual),)
+
+        return Tensor.from_op(out, (x,), backward, "max_pool2d")
+
+    if block:
         # Fast path: reshape into blocks.
         reshaped = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
         windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(

@@ -1,7 +1,12 @@
 """Composite differentiable functions: softmax, log-softmax, one-hot CE.
 
-Numerically-stable formulations with fused backward closures where the
-composition through primitive ops would be wasteful.
+Numerically-stable formulations, dispatched to the active backend's
+fused kernels (the default).  The fused kernels save only the minimal
+backward residual: log-softmax and cross-entropy recompute ``exp`` in
+backward instead of pinning the softmax matrix inside the closure for
+the graph's lifetime — the legacy in-module closures (kept below for
+``use_fusion(False)``) retained those forward temporaries, which is the
+behaviour the release-regression test guards against.
 """
 
 from __future__ import annotations
@@ -9,10 +14,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend import active_backend, fusion_enabled
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    if fusion_enabled():
+        backend = active_backend()
+        out = backend.softmax_fwd(x.data, axis)
+
+        def backward(grad):
+            return (backend.softmax_bwd(grad, out, axis),)
+
+        return Tensor.from_op(out, (x,), backward, "softmax")
+
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out = exp / exp.sum(axis=axis, keepdims=True)
@@ -26,6 +41,15 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
+    if fusion_enabled():
+        backend = active_backend()
+        out = backend.log_softmax_fwd(x.data, axis)
+
+        def backward(grad):
+            return (backend.log_softmax_bwd(grad, out, axis),)
+
+        return Tensor.from_op(out, (x,), backward, "log_softmax")
+
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - log_sum
@@ -48,6 +72,15 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     n = logits.data.shape[0]
     if targets.shape[0] != n:
         raise ValueError("batch size mismatch between logits and targets")
+
+    if fusion_enabled():
+        backend = active_backend()
+        loss, log_probs = backend.cross_entropy_fwd(logits.data, targets)
+
+        def backward(grad):
+            return (backend.cross_entropy_bwd(grad, log_probs, targets),)
+
+        return Tensor.from_op(loss, (logits,), backward, "cross_entropy")
 
     shifted = logits.data - logits.data.max(axis=1, keepdims=True)
     log_sum = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
@@ -72,8 +105,11 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     # The keep-mask is drawn in float64 (identical random stream on every
     # backend) and cast to the tensor dtype before scaling so a float32
     # run is not silently promoted back to float64.
-    keep = (rng.random(x.data.shape) >= p).astype(x.data.dtype)
-    mask = keep / (1.0 - p)
+    if fusion_enabled():
+        mask = active_backend().dropout_mask(rng.random(x.data.shape), p)
+    else:
+        keep = (rng.random(x.data.shape) >= p).astype(x.data.dtype)
+        mask = keep / (1.0 - p)
     out = x.data * mask
 
     def backward(grad):

@@ -274,6 +274,11 @@ def format_job_table(jobs: list[dict]) -> str:
                       f"({stats.get('executed', 0)} run, "
                       f"{stats.get('cached', 0)} cached, "
                       f"{stats.get('failed', 0)} failed)")
+            if "speculated" in stats:
+                # Speculative searches: how many of the scheduler's bets
+                # the confirm step kept, straight from the result stats.
+                detail += (f", {stats.get('confirmed', 0)}/"
+                           f"{stats['speculated']} bets confirmed")
         elif job.get("error"):
             detail = job["error"]
         else:

@@ -116,8 +116,11 @@ class ConvUnit(Module):
         self.last_input_hw = (x.data.shape[2], x.data.shape[3])
         out = self.conv(x)
         if self.bn is not None:
-            out = self.bn(out)
-        if self.use_relu:
+            # bn -> relu collapses into one fused graph node (one fused
+            # backward, no post-bn temporary) when fusion is enabled;
+            # forward_fused degrades to the two-node chain otherwise.
+            out = self.bn.forward_fused(out, fuse_relu=self.use_relu)
+        elif self.use_relu:
             out = out.relu()
         pruned = not np.all(self.channel_mask == 1.0)
         if pruned:

@@ -17,7 +17,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd import conv as conv_ops
 from repro.autograd import functional as F
-from repro.backend import active_backend
+from repro.backend import active_backend, fusion_enabled
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -109,7 +109,23 @@ class Linear(Module):
         return self.weight
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.effective_weight().transpose()
+        weight = self.effective_weight()
+        if fusion_enabled() and x.data.ndim == 2:
+            backend = active_backend()
+            bias = self.bias
+            out = backend.linear_fwd(
+                x.data, weight.data, None if bias is None else bias.data
+            )
+            parents = (x, weight) if bias is None else (x, weight, bias)
+
+            def backward(grad):
+                gx, gw, gb = backend.linear_bwd(
+                    grad, x.data, weight.data, bias is not None
+                )
+                return (gx, gw) if bias is None else (gx, gw, gb)
+
+            return Tensor.from_op(out, parents, backward, "linear")
+        out = x @ weight.transpose()
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -138,12 +154,59 @@ class BatchNorm2d(Module):
         self.register_buffer("running_var", backend.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
+        return self.forward_fused(x, fuse_relu=False)
+
+    def forward_fused(self, x: Tensor, fuse_relu: bool = False) -> Tensor:
+        """Forward pass, optionally folding a trailing relu into the node.
+
+        ``fuse_relu`` is how :class:`~repro.models.blocks.ConvUnit`
+        collapses its bn -> relu pair into one graph node; plain
+        ``forward`` never fuses, so standalone BatchNorm2d semantics are
+        unchanged.
+        """
         if x.data.ndim != 4:
             raise ValueError("BatchNorm2d expects (N, C, H, W) input")
         if x.data.shape[1] != self.num_features:
             raise ValueError(
                 f"expected {self.num_features} channels, got {x.data.shape[1]}"
             )
+        gamma, beta = self.gamma, self.beta
+        if fusion_enabled():
+            backend = active_backend()
+            training = self.training
+            if training:
+                out, mean, var, residual = backend.batchnorm_train(
+                    x.data, gamma.data, beta.data, self.eps, fuse_relu
+                )
+                m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+                unbiased = var * m / max(m - 1, 1)
+                self._set_buffer(
+                    "running_mean",
+                    (1 - self.momentum) * self.running_mean + self.momentum * mean,
+                )
+                self._set_buffer(
+                    "running_var",
+                    (1 - self.momentum) * self.running_var + self.momentum * unbiased,
+                )
+            else:
+                out, residual = backend.batchnorm_eval(
+                    x.data, gamma.data, beta.data, self.running_mean,
+                    self.running_var, self.eps, fuse_relu,
+                )
+
+            def backward(grad):
+                return backend.batchnorm_bwd(grad, gamma.data, residual, training)
+
+            op = "batchnorm2d_relu" if fuse_relu else "batchnorm2d"
+            return Tensor.from_op(out, (x, gamma, beta), backward, op)
+
+        out = self._forward_unfused(x)
+        if fuse_relu:
+            out = out.relu()
+        return out
+
+    def _forward_unfused(self, x: Tensor) -> Tensor:
+        """The per-primitive seed path, kept for ``use_fusion(False)``."""
         gamma, beta = self.gamma, self.beta
         axes = (0, 2, 3)
         if self.training:

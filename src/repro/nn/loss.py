@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.autograd import functional as F
+from repro.backend import active_backend, fusion_enabled
 from repro.nn.module import Module
 
 
@@ -24,6 +25,16 @@ class MSELoss(Module):
 
     def forward(self, prediction: Tensor, target) -> Tensor:
         target = target if isinstance(target, Tensor) else Tensor(target)
+        if fusion_enabled() and prediction.data.shape == target.data.shape:
+            backend = active_backend()
+            loss, residual = backend.mse_fwd(prediction.data, target.data)
+            needs_target_grad = target.requires_grad
+
+            def backward(grad):
+                gp = backend.mse_bwd(grad, residual)
+                return (gp, -gp if needs_target_grad else None)
+
+            return Tensor.from_op(loss, (prediction, target), backward, "mse")
         diff = prediction - target
         return (diff * diff).mean()
 
